@@ -1,0 +1,182 @@
+package cake
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+func TestSGemmKnownValues(t *testing.T) {
+	// C = 2·A×B + 3·C with 2×2 operands.
+	a := []float32{1, 2, 3, 4}
+	b := []float32{5, 6, 7, 8}
+	c := []float32{1, 1, 1, 1}
+	if err := SGemm(false, false, 2, 2, 2, 2, a, 2, b, 2, 3, c, 2); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{2*19 + 3, 2*22 + 3, 2*43 + 3, 2*50 + 3}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("c[%d]=%v want %v", i, c[i], want[i])
+		}
+	}
+}
+
+func TestDGemmBetaZeroIgnoresGarbage(t *testing.T) {
+	// β=0 must clear C without reading it — NaNs in C must not leak.
+	a := []float64{1, 0, 0, 1}
+	b := []float64{2, 3, 4, 5}
+	c := []float64{math.NaN(), math.NaN(), math.NaN(), math.NaN()}
+	if err := DGemm(false, false, 2, 2, 2, 1, a, 2, b, 2, 0, c, 2); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, 4, 5}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("c[%d]=%v want %v", i, c[i], want[i])
+		}
+	}
+}
+
+func TestSGemmAlphaZeroOnlyScales(t *testing.T) {
+	a := []float32{9, 9, 9, 9}
+	b := []float32{9, 9, 9, 9}
+	c := []float32{1, 2, 3, 4}
+	if err := SGemm(false, false, 2, 2, 2, 0, a, 2, b, 2, 2, c, 2); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{2, 4, 6, 8}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("c[%d]=%v want %v", i, c[i], want[i])
+		}
+	}
+}
+
+func TestDGemmStridedOperands(t *testing.T) {
+	// Leading dimensions larger than the logical widths: the padding
+	// columns must be neither read into the product nor written.
+	const lda, ldb, ldc = 5, 6, 7
+	m, n, k := 3, 4, 2
+	a := make([]float64, m*lda)
+	b := make([]float64, k*ldb)
+	c := make([]float64, m*ldc)
+	for i := range a {
+		a[i] = 99 // padding sentinel; logical region overwritten below
+	}
+	for i := range b {
+		b[i] = 99
+	}
+	rng := rand.New(rand.NewSource(5))
+	la := matrix.FromStrided(m, k, lda, a)
+	lb := matrix.FromStrided(k, n, ldb, b)
+	la.Randomize(rng)
+	lb.Randomize(rng)
+	for i := range c {
+		c[i] = -1
+	}
+
+	if err := DGemm(false, false, m, n, k, 1, a, lda, b, ldb, 0, c, ldc); err != nil {
+		t.Fatal(err)
+	}
+	want := matrix.New[float64](m, n)
+	matrix.NaiveGemm(want, la, lb)
+	got := matrix.FromStrided(m, n, ldc, c)
+	if !got.Clone().AlmostEqual(want, k, 1e-12) {
+		t.Fatalf("strided gemm wrong: %g", got.Clone().MaxAbsDiff(want))
+	}
+	// Padding columns of C untouched.
+	for i := 0; i < m; i++ {
+		for j := n; j < ldc; j++ {
+			if c[i*ldc+j] != -1 {
+				t.Fatalf("padding written at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestBlasGemmQuickAgainstReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n, k := 1+rng.Intn(40), 1+rng.Intn(40), 1+rng.Intn(40)
+		transA, transB := rng.Intn(2) == 1, rng.Intn(2) == 1
+		alpha := float64(rng.Intn(5)) - 2
+		beta := float64(rng.Intn(3)) - 1
+
+		logicalA := matrix.New[float64](m, k)
+		logicalB := matrix.New[float64](k, n)
+		logicalA.Randomize(rng)
+		logicalB.Randomize(rng)
+		c0 := matrix.New[float64](m, n)
+		c0.Randomize(rng)
+
+		// Reference: want = alpha*A*B + beta*c0.
+		want := matrix.New[float64](m, n)
+		matrix.NaiveGemm(want, logicalA, logicalB)
+		for i := range want.Data {
+			want.Data[i] = alpha*want.Data[i] + beta*c0.Data[i]
+		}
+
+		aStore := logicalA
+		if transA {
+			aStore = logicalA.Transpose()
+		}
+		bStore := logicalB
+		if transB {
+			bStore = logicalB.Transpose()
+		}
+		c := c0.Clone()
+		err := DGemm(transA, transB, m, n, k, alpha, aStore.Data, aStore.Stride,
+			bStore.Data, bStore.Stride, beta, c.Data, c.Stride)
+		if err != nil {
+			t.Logf("err: %v", err)
+			return false
+		}
+		return c.AlmostEqual(want, k, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlasGemmBadArgs(t *testing.T) {
+	buf := make([]float32, 16)
+	if err := SGemm(false, false, 0, 2, 2, 1, buf, 2, buf, 2, 1, buf, 2); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	if err := SGemm(false, false, 4, 4, 4, 1, buf, 2, buf, 4, 1, buf, 4); err == nil {
+		t.Fatal("lda < k accepted")
+	}
+	if err := SGemm(false, false, 4, 4, 4, 1, buf, 4, buf, 4, 1, buf[:4], 4); err == nil {
+		t.Fatal("short C accepted")
+	}
+}
+
+func TestFromStrided(t *testing.T) {
+	data := []float64{1, 2, 0, 3, 4, 0}
+	m := matrix.FromStrided(2, 2, 3, data)
+	if m.At(1, 1) != 4 || m.At(0, 1) != 2 {
+		t.Fatal("FromStrided layout")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for stride < cols")
+		}
+	}()
+	matrix.FromStrided(2, 4, 3, data)
+}
+
+func TestMatrixScale(t *testing.T) {
+	m := matrix.FromSlice(2, 2, []float64{1, 2, 3, 4})
+	m.Scale(2)
+	if m.At(1, 1) != 8 {
+		t.Fatal("Scale")
+	}
+	m.Scale(0)
+	if m.At(0, 0) != 0 {
+		t.Fatal("Scale to zero")
+	}
+}

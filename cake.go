@@ -1,0 +1,175 @@
+// Package cake is a from-scratch Go implementation of CAKE — matrix
+// multiplication using constant-bandwidth (CB) blocks (Kung, Natesh &
+// Sabot, SC '21) — together with everything needed to reproduce the paper's
+// evaluation: the GOTO baseline the vendor BLAS libraries implement, an
+// analytical CB-block theory, a K-first block scheduler, an architecture
+// simulator in the style of the paper's Section 6.2, and experiment drivers
+// for every table and figure.
+//
+// # Quick start
+//
+//	a := cake.NewMatrix[float32](m, k)
+//	b := cake.NewMatrix[float32](k, n)
+//	c := cake.NewMatrix[float32](m, n)
+//	// ... fill a and b ...
+//	if err := cake.Gemm(c, a, b); err != nil { ... }
+//
+// Gemm plans CB-block shape and schedule for the host automatically; use
+// Plan/NewExecutor for explicit control, repeated multiplications, or to
+// target one of the paper's Table 2 platform models.
+package cake
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/gotoalg"
+	"repro/internal/matrix"
+	"repro/internal/platform"
+	"repro/internal/pool"
+)
+
+// Scalar constrains matrix element types (float32 or float64).
+type Scalar = matrix.Scalar
+
+// Matrix is a dense row-major matrix (see internal/matrix for methods).
+type Matrix[T Scalar] = matrix.Matrix[T]
+
+// NewMatrix returns a zeroed r×c matrix.
+func NewMatrix[T Scalar](r, c int) *Matrix[T] { return matrix.New[T](r, c) }
+
+// FromSlice wraps row-major data (length r*c) as a matrix without copying.
+func FromSlice[T Scalar](r, c int, data []T) *Matrix[T] { return matrix.FromSlice(r, c, data) }
+
+// NaiveGemm is the reference C += A×B (Algorithm 1), used as an oracle.
+func NaiveGemm[T Scalar](c, a, b *Matrix[T]) { matrix.NaiveGemm(c, a, b) }
+
+// Config is a fully resolved CAKE execution plan (CB block shape, schedule
+// order, register tile, compute dimension).
+type Config = core.Config
+
+// Executor runs CAKE GEMMs with a fixed Config, reusing workers and packing
+// buffers across calls.
+type Executor[T Scalar] = core.Executor[T]
+
+// Stats summarises one CAKE execution.
+type Stats = core.Stats
+
+// Compute dimensions (Section 3): N is the paper's primary formulation.
+const (
+	DimN = core.DimN
+	DimM = core.DimM
+	DimK = core.DimK
+)
+
+// Platform describes a CPU (cache sizes, bandwidths, core count). The
+// paper's Table 2 machines are available via IntelI9, AMDRyzen9 and
+// ARMCortexA53; Host models the machine the process runs on.
+type Platform = platform.Platform
+
+// Table 2 platform models.
+var (
+	IntelI9      = platform.IntelI9
+	AMDRyzen9    = platform.AMDRyzen9
+	ARMCortexA53 = platform.ARMCortexA53
+)
+
+// Platforms returns all Table 2 platform models.
+func Platforms() []*Platform { return platform.All() }
+
+// Host returns a platform model for the current machine, reading cache
+// geometry from sysfs where available and falling back to conservative
+// desktop defaults. Core count is GOMAXPROCS.
+func Host() *Platform { return hostPlatform() }
+
+// Plan derives a CAKE configuration for a GEMM of the given shape on a
+// platform (Sections 3, 4.2–4.4: mc×kc from the private cache, the CB block
+// against the LLC LRU rule, α from DRAM bandwidth).
+func Plan[T Scalar](pl *Platform, m, k, n int) (Config, error) {
+	var zero T
+	return core.Plan(pl, m, k, n, elemSize(zero))
+}
+
+// NewExecutor prepares a reusable CAKE executor for cfg.
+func NewExecutor[T Scalar](cfg Config) (*Executor[T], error) {
+	return core.NewExecutor[T](cfg, nil)
+}
+
+// Gemm computes C += A×B with CAKE, planning for the host automatically.
+// For repeated calls build an Executor once instead.
+func Gemm[T Scalar](c, a, b *Matrix[T]) error {
+	matrix.CheckMul(c, a, b)
+	cfg, err := Plan[T](Host(), a.Rows, a.Cols, b.Cols)
+	if err != nil {
+		return err
+	}
+	_, err = GemmWithConfig(c, a, b, cfg)
+	return err
+}
+
+// GemmWithConfig computes C += A×B with an explicit CAKE configuration.
+func GemmWithConfig[T Scalar](c, a, b *Matrix[T], cfg Config) (Stats, error) {
+	return core.Gemm(c, a, b, cfg)
+}
+
+// GemmT computes C += op(A)×op(B), transposing an operand during packing
+// when its flag is set (A stored K×M when transA, B stored N×K when
+// transB), planning for the host automatically.
+func GemmT[T Scalar](c, a, b *Matrix[T], transA, transB bool) error {
+	m, k := a.Rows, a.Cols
+	if transA {
+		m, k = k, m
+	}
+	n := b.Cols
+	if transB {
+		n = b.Rows
+	}
+	cfg, err := Plan[T](Host(), m, k, n)
+	if err != nil {
+		return err
+	}
+	_, err = core.GemmT(c, a, b, cfg, transA, transB)
+	return err
+}
+
+// GotoConfig is the GOTO baseline's blocking (Section 4.1).
+type GotoConfig = gotoalg.Config
+
+// GotoStats summarises one GOTO execution.
+type GotoStats = gotoalg.Stats
+
+// PlanGoto derives the GOTO blocking for a platform.
+func PlanGoto[T Scalar](pl *Platform) (GotoConfig, error) {
+	var zero T
+	return gotoalg.Plan(pl, elemSize(zero))
+}
+
+// GotoGemm computes C += A×B with the GOTO algorithm (the baseline MKL,
+// ARMPL and OpenBLAS implement).
+func GotoGemm[T Scalar](c, a, b *Matrix[T], cfg GotoConfig) (GotoStats, error) {
+	return gotoalg.Gemm(c, a, b, cfg)
+}
+
+// NewPool creates a worker pool that multiple executors can share (one
+// worker per simulated core). workers <= 0 selects GOMAXPROCS.
+func NewPool(workers int) *pool.Pool { return pool.New(workers) }
+
+// NewExecutorWithPool prepares an executor on a shared pool.
+func NewExecutorWithPool[T Scalar](cfg Config, p *pool.Pool) (*Executor[T], error) {
+	return core.NewExecutor[T](cfg, p)
+}
+
+func elemSize[T Scalar](v T) int {
+	switch any(v).(type) {
+	case float32:
+		return 4
+	case float64:
+		return 8
+	default:
+		panic(fmt.Sprintf("cake: unsupported element type %T", v))
+	}
+}
+
+// defaultHostCores is a test seam.
+var defaultHostCores = func() int { return runtime.GOMAXPROCS(0) }

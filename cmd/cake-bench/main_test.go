@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTable2AndFig4(t *testing.T) {
+	var buf bytes.Buffer
+	for _, target := range []string{"table2", "fig4"} {
+		if err := run(target, true, "", &buf); err != nil {
+			t.Fatalf("%s: %v", target, err)
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Intel i9-10900K") || !strings.Contains(out, "fig4") {
+		t.Fatalf("output missing content: %q", out)
+	}
+}
+
+func TestRunUnknownTarget(t *testing.T) {
+	if err := run("fig99", true, "", &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+}
+
+func TestRunTrioQuickWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run("fig11", true, dir, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"fig11a.csv", "fig11b.csv", "fig11c.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+		if !strings.Contains(string(data), "cores") {
+			t.Fatalf("%s lacks header", f)
+		}
+	}
+	if !strings.Contains(buf.String(), "ARM v8 Cortex A53") {
+		t.Fatal("trio output missing platform")
+	}
+}
+
+func TestRunFig8Quick(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run("fig8", true, dir, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ratio >= 1.00x") {
+		t.Fatal("fig8 coverage summary missing")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig8d.csv")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShortName(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run("fig9", true, "", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Speedup") {
+		t.Fatal("fig9 output missing")
+	}
+}

@@ -1,0 +1,147 @@
+// cake-gemm runs a single matrix multiplication with the CAKE or GOTO
+// driver, either for real on the host (timed, verified against the naive
+// reference) or on the architecture simulator of a Table 2 platform.
+//
+// Usage:
+//
+//	cake-gemm [-m M] [-k K] [-n N] [-algo cake|goto] [-cores P] \
+//	          [-sim Intel|AMD|ARM] [-verify]
+//
+// Without -sim the multiplication runs on this machine and reports wall
+// time and GFLOP/s. With -sim it runs on the named platform model and
+// reports simulated cycles, throughput, DRAM traffic and stalls.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/gotoalg"
+	"repro/internal/matrix"
+	"repro/internal/platform"
+
+	cake "repro"
+)
+
+func main() {
+	m := flag.Int("m", 1000, "rows of A and C")
+	k := flag.Int("k", 1000, "cols of A / rows of B")
+	n := flag.Int("n", 1000, "cols of B and C")
+	algo := flag.String("algo", "cake", "algorithm: cake or goto")
+	cores := flag.Int("cores", 0, "worker count (0 = all)")
+	simName := flag.String("sim", "", "simulate on a Table 2 platform (Intel, AMD, ARM) instead of running")
+	verify := flag.Bool("verify", false, "check the result against the naive reference (real runs)")
+	flag.Parse()
+
+	if err := run(*m, *k, *n, *algo, *cores, *simName, *verify); err != nil {
+		fmt.Fprintln(os.Stderr, "cake-gemm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(m, k, n int, algo string, cores int, simName string, verify bool) error {
+	if simName != "" {
+		return simulate(m, k, n, algo, cores, simName)
+	}
+	return real(m, k, n, algo, cores, verify)
+}
+
+func simulate(m, k, n int, algo string, cores int, simName string) error {
+	pl, err := platform.ByName(simName)
+	if err != nil {
+		return err
+	}
+	if cores == 0 {
+		cores = pl.Cores
+	}
+	var met interface {
+		ThroughputGFLOPS(float64) float64
+		AvgDRAMBW(float64) float64
+	}
+	switch algo {
+	case "cake":
+		mm, cfg, err := experiments.SimCake(pl, cores, m, k, n)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("plan: %v\n", cfg)
+		fmt.Printf("cycles: %d  blocks: %d  stallDRAM: %d  stallLLC: %d\n",
+			mm.Cycles, mm.Blocks, mm.StallDRAM, mm.StallInternal)
+		met = mm
+	case "goto":
+		mm, cfg, err := experiments.SimGoto(pl, cores, m, k, n)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("plan: %v\n", cfg)
+		fmt.Printf("cycles: %d  blocks: %d  stallDRAM: %d  stallLLC: %d\n",
+			mm.Cycles, mm.Blocks, mm.StallDRAM, mm.StallInternal)
+		met = mm
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+	fmt.Printf("platform: %s @ %d cores\n", pl.Name, cores)
+	fmt.Printf("throughput: %.1f GFLOP/s   avg DRAM BW: %.2f GB/s\n",
+		met.ThroughputGFLOPS(pl.ClockHz), met.AvgDRAMBW(pl.ClockHz)/1e9)
+	return nil
+}
+
+func real(m, k, n int, algo string, cores int, verify bool) error {
+	host := cake.Host()
+	if cores > 0 {
+		host.Cores = cores
+	}
+	rng := rand.New(rand.NewSource(1))
+	a := matrix.New[float32](m, k)
+	b := matrix.New[float32](k, n)
+	c := matrix.New[float32](m, n)
+	a.Randomize(rng)
+	b.Randomize(rng)
+
+	var elapsed time.Duration
+	switch algo {
+	case "cake":
+		cfg, err := core.Plan(host, m, k, n, 4)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("plan: %v\n", cfg)
+		start := time.Now()
+		if _, err := core.Gemm(c, a, b, cfg); err != nil {
+			return err
+		}
+		elapsed = time.Since(start)
+	case "goto":
+		cfg, err := gotoalg.Plan(host, 4)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("plan: %v\n", cfg)
+		start := time.Now()
+		if _, err := gotoalg.Gemm(c, a, b, cfg); err != nil {
+			return err
+		}
+		elapsed = time.Since(start)
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+
+	flops := matrix.GemmFlops(m, n, k)
+	fmt.Printf("%s %dx%dx%d on %d cores: %v  (%.2f GFLOP/s)\n",
+		algo, m, k, n, host.Cores, elapsed, flops/elapsed.Seconds()/1e9)
+
+	if verify {
+		want := matrix.New[float32](m, n)
+		matrix.NaiveGemm(want, a, b)
+		if !c.AlmostEqual(want, k, 1e-5) {
+			return fmt.Errorf("verification FAILED: max diff %g", c.MaxAbsDiff(want))
+		}
+		fmt.Println("verified against naive reference")
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestRealRunVerified(t *testing.T) {
+	if err := run(64, 48, 56, "cake", 1, "", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(64, 48, 56, "goto", 1, "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulatedRun(t *testing.T) {
+	for _, algo := range []string{"cake", "goto"} {
+		if err := run(512, 512, 512, algo, 0, "ARM", false); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if err := run(64, 64, 64, "strassen", 1, "", false); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if err := run(64, 64, 64, "strassen", 0, "Intel", false); err == nil {
+		t.Fatal("unknown simulated algorithm accepted")
+	}
+	if err := run(64, 64, 64, "cake", 0, "RISCV", false); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+}

@@ -1,0 +1,77 @@
+// pmbw is a parallel memory-bandwidth scan in the spirit of the tool the
+// paper uses (Bingmann's pmbw) to measure internal bandwidth between the
+// last-level cache / DRAM and the cores (Figures 10c, 11c, 12c): for each
+// thread count it streams a working set concurrently on all threads and
+// reports the aggregate sustained bandwidth. With -fit it also fits the
+// piecewise-linear saturation curve the simulator's platform models use.
+// With -sizes it sweeps working-set sizes instead, exposing cache cliffs.
+//
+// Usage:
+//
+//	pmbw [-max-threads N] [-size BYTES] [-dur DURATION] [-fit] [-sizes]
+//
+// Choose -size below the LLC to measure cache bandwidth, or well above it
+// to measure DRAM bandwidth.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/membench"
+)
+
+func main() {
+	maxThreads := flag.Int("max-threads", runtime.GOMAXPROCS(0), "highest thread count to scan")
+	size := flag.Int("size", 8<<20, "per-thread working set in bytes")
+	dur := flag.Duration("dur", 300*time.Millisecond, "measurement duration per point")
+	fit := flag.Bool("fit", false, "fit a platform.BWCurve to the thread scan")
+	sizes := flag.Bool("sizes", false, "sweep working-set sizes (single thread) instead of threads")
+	flag.Parse()
+
+	if err := run(*maxThreads, *size, *dur, *fit, *sizes); err != nil {
+		fmt.Fprintln(os.Stderr, "pmbw:", err)
+		os.Exit(1)
+	}
+}
+
+func run(maxThreads, size int, dur time.Duration, fit, sweepSizes bool) error {
+	if sweepSizes {
+		var ws []int
+		for s := 16 << 10; s <= size; s *= 2 {
+			ws = append(ws, s)
+		}
+		pts, err := membench.ScanWorkingSet(ws, dur)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# pmbw-style working-set sweep, 1 thread, %v per point\n", dur)
+		fmt.Printf("%-12s %-12s\n", "bytes", "GB/s")
+		for _, p := range pts {
+			fmt.Printf("%-12d %-12.2f\n", p.WorkingSet, p.BytesPerSec/1e9)
+		}
+		return nil
+	}
+
+	fmt.Printf("# pmbw-style scan: %d B per thread, %v per point\n", size, dur)
+	pts, err := membench.ScanThreads(maxThreads, size, dur)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %-14s %-14s\n", "threads", "GB/s total", "GB/s per thr")
+	for _, p := range pts {
+		fmt.Printf("%-8d %-14.2f %-14.2f\n", p.Threads, p.BytesPerSec/1e9, p.BytesPerSec/1e9/float64(p.Threads))
+	}
+	if fit {
+		curve, err := membench.FitBWCurve(pts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# fitted BWCurve: %.2f GB/s/core to %d cores, then %.2f GB/s/core\n",
+			curve.SlopePre/1e9, curve.Knee, curve.SlopePost/1e9)
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunThreadScanWithFit(t *testing.T) {
+	if err := run(2, 1<<20, 10*time.Millisecond, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSizeSweep(t *testing.T) {
+	if err := run(1, 256<<10, 10*time.Millisecond, false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	if err := run(0, 1<<20, time.Millisecond, false, false); err == nil {
+		t.Fatal("maxThreads=0 accepted")
+	}
+}

@@ -1,0 +1,69 @@
+// Multi-tenant scheduling (paper Section 6.1): three GEMM jobs share one
+// Intel i9 model. Because each CAKE tenant's DRAM bandwidth demand is
+// constant and analytically known (Equation 4), cores, LLC and memory
+// bandwidth can be statically partitioned with no schedule search — and
+// each tenant runs at essentially its isolated throughput. The same
+// partition applied to GOTO tenants collapses, because their bandwidth
+// demands grow with core count and overrun their reservations.
+//
+//	go run ./examples/multitenant
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/tenant"
+)
+
+func main() {
+	pl := platform.IntelI9()
+	jobs := []tenant.Job{
+		{Name: "training", M: 4096, K: 4096, N: 4096},
+		{Name: "serving", M: 2048, K: 2048, N: 2048},
+		{Name: "batch", M: 1024, K: 1024, N: 1024},
+	}
+
+	plan, err := tenant.PlanTenants(pl, jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: static partition for %d tenants (no search)\n", pl.Name, len(jobs))
+	fmt.Printf("%-10s %-6s %-10s %-12s %-24s\n", "tenant", "cores", "LLC MiB", "BW GB/s", "plan")
+	for _, as := range plan.Assignments {
+		fmt.Printf("%-10s %-6d %-10.1f %-12.2f %v\n",
+			as.Job.Name, as.Cores, float64(as.LLCBytes)/(1<<20), as.DRAMBW/1e9, as.Config)
+	}
+
+	results, err := tenant.Simulate(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%-10s %-14s %-14s %-10s\n", "tenant", "co-run GF/s", "isolated GF/s", "share")
+	for _, r := range results {
+		fmt.Printf("%-10s %-14.1f %-14.1f %.1f%%\n", r.Job.Name, r.GFLOPS, r.Isolated, 100*r.Share())
+	}
+
+	// Contrast: GOTO tenants under the same fair-share bandwidth partition.
+	fmt.Printf("\nGOTO tenants with fair DRAM shares (%.1f GB/s each):\n", pl.DRAMBW/3/1e9)
+	for i, as := range plan.Assignments {
+		w := sim.GotoWorkload{P: as.Cores, MC: 176, KC: 176, NC: 8192, MR: 8, NR: 8, ElemBytes: 4}
+		ops, err := sim.GotoOps(w, jobs[i].M, jobs[i].K, jobs[i].N)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mcfg := sim.FromPlatform(pl, as.Cores)
+		mcfg.ExtBW = pl.DRAMBW / 3 / pl.ClockHz
+		met, err := sim.Run(mcfg, ops)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %-14.1f (vs CAKE co-run %.1f)\n",
+			jobs[i].Name, met.ThroughputGFLOPS(pl.ClockHz), results[i].GFLOPS)
+	}
+	fmt.Println("\nCAKE tenants fit their reservations because CB blocks pin their")
+	fmt.Println("bandwidth demand; GOTO tenants' demand scales with cores and blows")
+	fmt.Println("through any static share — the search-free multi-tenancy of §6.1.")
+}

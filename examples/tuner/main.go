@@ -1,0 +1,36 @@
+// Design-search comparison: the paper's Section 1 claim is that CAKE's
+// analytically derived CB blocks remove the need for the "computationally
+// intractable" grid search over tiling parameters. This example runs that
+// grid search anyway — every (mc, α) design evaluated on the architecture
+// simulator — and compares the winner against the closed-form plan.
+//
+//	go run ./examples/tuner
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/platform"
+	"repro/internal/tuner"
+)
+
+func main() {
+	const m, k, n = 4096, 4096, 4096
+	for _, pl := range platform.All() {
+		res, err := tuner.Search(pl, pl.Cores, m, k, n, tuner.Options{MCStep: 16, MCMax: 320})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s — %d³ GEMM, %d cores, %d designs searched\n",
+			pl.Name, m, pl.Cores, len(res.Evaluated))
+		fmt.Printf("  search best : mc=%-4d α=%-3g -> %7.1f GFLOP/s, %5.2f GB/s DRAM\n",
+			res.Best.MC, res.Best.Alpha, res.Best.GFLOPS, res.Best.DRAMGB)
+		fmt.Printf("  analytic    : mc=%-4d α=%-3g -> %7.1f GFLOP/s, %5.2f GB/s DRAM\n",
+			res.Analytic.MC, res.Analytic.Alpha, res.Analytic.GFLOPS, res.Analytic.DRAMGB)
+		fmt.Printf("  analytic plan reaches %.1f%% of the searched optimum\n\n",
+			100*res.AnalyticShare())
+	}
+	fmt.Println("CB theory picks the block shape in closed form (Sections 3-4);")
+	fmt.Println("the search only confirms it — the paper's 'no design search' claim.")
+}

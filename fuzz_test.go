@@ -1,0 +1,97 @@
+package cake
+
+// Native fuzz targets. Under plain `go test` the seed corpus runs as unit
+// tests; `go test -fuzz=FuzzGemmAgainstNaive .` explores further.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/schedule"
+)
+
+func FuzzGemmAgainstNaive(f *testing.F) {
+	f.Add(int64(1), uint8(33), uint8(17), uint8(25), uint8(2), uint8(0))
+	f.Add(int64(2), uint8(1), uint8(1), uint8(1), uint8(1), uint8(1))
+	f.Add(int64(3), uint8(64), uint8(64), uint8(64), uint8(4), uint8(2))
+	f.Add(int64(4), uint8(80), uint8(3), uint8(90), uint8(3), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, mm, kk, nn, cores, dim uint8) {
+		m, k, n := int(mm)%96+1, int(kk)%96+1, int(nn)%96+1
+		p := int(cores)%4 + 1
+		cfg := core.Config{
+			Cores: p, MC: 16, KC: 16, Alpha: 1, MR: 8, NR: 8,
+			Dim: core.ComputeDim(dim % 3), Order: core.OrderAuto,
+		}
+		rng := rand.New(rand.NewSource(seed))
+		a := matrix.New[float64](m, k)
+		b := matrix.New[float64](k, n)
+		a.Randomize(rng)
+		b.Randomize(rng)
+		c := matrix.New[float64](m, n)
+		want := matrix.New[float64](m, n)
+		matrix.NaiveGemm(want, a, b)
+		if _, err := core.Gemm(c, a, b, cfg); err != nil {
+			t.Fatalf("cfg %v dims %d,%d,%d: %v", cfg, m, k, n, err)
+		}
+		if !c.AlmostEqual(want, k, 1e-11) {
+			t.Fatalf("cfg %v dims %d,%d,%d: diff %g", cfg, m, k, n, c.MaxAbsDiff(want))
+		}
+	})
+}
+
+func FuzzKFirstScheduleInvariants(f *testing.F) {
+	f.Add(uint8(3), uint8(2), uint8(4), false)
+	f.Add(uint8(1), uint8(1), uint8(1), true)
+	f.Add(uint8(8), uint8(8), uint8(8), false)
+	f.Fuzz(func(t *testing.T, mb, nb, kb uint8, outerM bool) {
+		d := schedule.Dims{Mb: int(mb)%10 + 1, Nb: int(nb)%10 + 1, Kb: int(kb)%10 + 1}
+		o := schedule.OuterN
+		if outerM {
+			o = schedule.OuterM
+		}
+		seq := schedule.KFirst(d, o)
+		if !schedule.IsPermutation(d, seq) {
+			t.Fatalf("%+v %v: not a permutation", d, o)
+		}
+		for i := 1; i < len(seq); i++ {
+			a, b, c := schedule.Shared(seq[i-1], seq[i])
+			if !a && !b && !c {
+				t.Fatalf("%+v %v: adjacency broken at step %d", d, o, i)
+			}
+		}
+		// IO optimality.
+		surf := schedule.Surfaces{A: 10, B: 20, C: 40}
+		cost := schedule.EvalIO(d, seq, surf)
+		if cost.Total() != schedule.OptimalIO(d, o, surf) {
+			t.Fatalf("%+v %v: K-first not IO-optimal", d, o)
+		}
+		if cost.PartialEvents != 0 {
+			t.Fatalf("%+v %v: partial round-trips", d, o)
+		}
+	})
+}
+
+func FuzzPackRoundTrip(f *testing.F) {
+	f.Add(uint8(13), uint8(9), int64(1))
+	f.Add(uint8(1), uint8(1), int64(2))
+	f.Fuzz(func(t *testing.T, rr, cc uint8, seed int64) {
+		r, c := int(rr)%40+1, int(cc)%40+1
+		rng := rand.New(rand.NewSource(seed))
+		a := matrix.New[float64](r, c)
+		a.Randomize(rng)
+		// PackAT(transpose) must equal PackA(original): a strong round-trip
+		// check of both layouts.
+		cfg := core.Config{Cores: 1, MC: 8, KC: 8, Alpha: 1, MR: 8, NR: 8, Order: core.OrderAuto}
+		want := matrix.New[float64](r, r)
+		matrix.NaiveGemm(want, a, a.Transpose())
+		got := matrix.New[float64](r, r)
+		if _, err := core.GemmT(got, a, a, cfg, false, true); err != nil {
+			t.Fatal(err)
+		}
+		if !got.AlmostEqual(want, c, 1e-11) {
+			t.Fatalf("A·Aᵀ via transB differs: %g", got.MaxAbsDiff(want))
+		}
+	})
+}

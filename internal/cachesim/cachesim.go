@@ -1,0 +1,241 @@
+// Package cachesim provides an exact LRU cache model and a multi-level
+// hierarchy walker. The Figure 7 experiments drive it with tile-granularity
+// memory traces (internal/memtrace) to count, per memory level, the hits and
+// DRAM requests that the paper measures with VTune and Linux perf — the
+// substitution documented in DESIGN.md.
+//
+// Entries are variable-sized (a "line" is whatever chunk the trace uses —
+// typically one mc×kc sub-tile), the replacement policy is exact LRU over
+// those chunks, and writebacks of dirty victims are counted.
+package cachesim
+
+import "fmt"
+
+// node is an intrusive doubly-linked LRU list node.
+type node[K comparable] struct {
+	key        K
+	size       int64
+	dirty      bool
+	prev, next *node[K]
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits       int64 // accesses served by this cache
+	Misses     int64 // accesses passed to the level below
+	Evictions  int64 // entries displaced by capacity pressure
+	Writebacks int64 // dirty entries displaced (traffic to the level below)
+	BytesIn    int64 // bytes filled on misses
+}
+
+// Cache is a fully associative LRU cache over comparable keys with
+// per-entry sizes.
+type Cache[K comparable] struct {
+	capacity int64
+	used     int64
+	entries  map[K]*node[K]
+	head     *node[K] // most recently used
+	tail     *node[K] // least recently used
+	stats    Stats
+
+	// OnEvict, when set, observes each eviction (used by the hierarchy to
+	// propagate writebacks downward).
+	OnEvict func(key K, size int64, dirty bool)
+}
+
+// New returns an empty cache holding at most capacity bytes.
+func New[K comparable](capacity int64) *Cache[K] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cachesim: capacity %d", capacity))
+	}
+	return &Cache[K]{capacity: capacity, entries: make(map[K]*node[K])}
+}
+
+// Capacity returns the configured capacity in bytes.
+func (c *Cache[K]) Capacity() int64 { return c.capacity }
+
+// Used returns the bytes currently resident.
+func (c *Cache[K]) Used() int64 { return c.used }
+
+// Len returns the number of resident entries.
+func (c *Cache[K]) Len() int { return len(c.entries) }
+
+// Stats returns the event counters.
+func (c *Cache[K]) Stats() Stats { return c.stats }
+
+// Contains reports residency without touching recency.
+func (c *Cache[K]) Contains(key K) bool {
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Access touches key with the given footprint. It returns true on a hit.
+// On a miss the entry is installed (evicting LRU victims as needed) and
+// false is returned. write marks the entry dirty; a dirty victim counts as
+// a writeback. An entry larger than the whole cache bypasses installation
+// (it could never be resident) but still counts as a miss.
+func (c *Cache[K]) Access(key K, size int64, write bool) bool {
+	if size <= 0 {
+		panic(fmt.Sprintf("cachesim: access size %d", size))
+	}
+	if n, ok := c.entries[key]; ok {
+		c.stats.Hits++
+		n.dirty = n.dirty || write
+		c.moveToFront(n)
+		return true
+	}
+	c.stats.Misses++
+	c.stats.BytesIn += size
+	if size > c.capacity {
+		return false
+	}
+	for c.used+size > c.capacity {
+		c.evictLRU()
+	}
+	n := &node[K]{key: key, size: size, dirty: write}
+	c.entries[key] = n
+	c.used += size
+	c.pushFront(n)
+	return false
+}
+
+// Invalidate drops key if resident (no writeback accounting — use for
+// explicit surface retirement). Reports whether it was resident.
+func (c *Cache[K]) Invalidate(key K) bool {
+	n, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	c.unlink(n)
+	delete(c.entries, key)
+	c.used -= n.size
+	return true
+}
+
+// Flush evicts everything, counting dirty writebacks.
+func (c *Cache[K]) Flush() {
+	for c.tail != nil {
+		c.evictLRU()
+	}
+}
+
+func (c *Cache[K]) evictLRU() {
+	v := c.tail
+	if v == nil {
+		panic("cachesim: eviction from empty cache")
+	}
+	c.unlink(v)
+	delete(c.entries, v.key)
+	c.used -= v.size
+	c.stats.Evictions++
+	if v.dirty {
+		c.stats.Writebacks++
+	}
+	if c.OnEvict != nil {
+		c.OnEvict(v.key, v.size, v.dirty)
+	}
+}
+
+func (c *Cache[K]) pushFront(n *node[K]) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *Cache[K]) unlink(n *node[K]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *Cache[K]) moveToFront(n *node[K]) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}
+
+// LevelStats pairs a level name with its counters.
+type LevelStats struct {
+	Name string
+	Stats
+}
+
+// Hierarchy chains caches from fastest (index 0) to slowest; accesses that
+// miss every level are DRAM requests. Fill policy is inclusive: a miss
+// installs the entry at every level.
+type Hierarchy[K comparable] struct {
+	names  []string
+	levels []*Cache[K]
+
+	DRAMReads  int64 // accesses missing every cache level
+	DRAMWrites int64 // dirty writebacks leaving the last level
+}
+
+// NewHierarchy builds a hierarchy; levels are ordered fastest-first and
+// sized in bytes.
+func NewHierarchy[K comparable](names []string, capacities []int64) *Hierarchy[K] {
+	if len(names) != len(capacities) || len(names) == 0 {
+		panic("cachesim: names/capacities mismatch")
+	}
+	h := &Hierarchy[K]{names: names}
+	for i, cap := range capacities {
+		c := New[K](cap)
+		if i == len(capacities)-1 {
+			c.OnEvict = func(_ K, _ int64, dirty bool) {
+				if dirty {
+					h.DRAMWrites++
+				}
+			}
+		}
+		h.levels = append(h.levels, c)
+	}
+	return h
+}
+
+// Access walks the hierarchy with an inclusive fill: the first level that
+// hits serves the access; all faster levels are refilled. A global miss
+// counts as a DRAM read.
+func (h *Hierarchy[K]) Access(key K, size int64, write bool) (servedBy int) {
+	for i, c := range h.levels {
+		if c.Access(key, size, write) {
+			// Refill the faster levels (inclusive); already done above by
+			// the Access calls that missed and installed.
+			return i
+		}
+	}
+	h.DRAMReads++
+	return len(h.levels)
+}
+
+// Levels returns per-level counters, fastest first.
+func (h *Hierarchy[K]) Levels() []LevelStats {
+	out := make([]LevelStats, len(h.levels))
+	for i, c := range h.levels {
+		out[i] = LevelStats{Name: h.names[i], Stats: c.Stats()}
+	}
+	return out
+}
+
+// Flush drains every level, propagating last-level dirty writebacks to the
+// DRAM write counter.
+func (h *Hierarchy[K]) Flush() {
+	for _, c := range h.levels {
+		c.Flush()
+	}
+}

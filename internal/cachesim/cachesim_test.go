@@ -1,0 +1,259 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicHitMiss(t *testing.T) {
+	c := New[int](100)
+	if c.Access(1, 40, false) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(1, 40, false) {
+		t.Fatal("warm access missed")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.BytesIn != 40 {
+		t.Fatalf("stats %+v", s)
+	}
+	if c.Used() != 40 || c.Len() != 1 {
+		t.Fatalf("used=%d len=%d", c.Used(), c.Len())
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := New[int](100)
+	c.Access(1, 40, false)
+	c.Access(2, 40, false)
+	c.Access(1, 40, false) // 1 now MRU; 2 is LRU
+	c.Access(3, 40, false) // evicts 2
+	if !c.Contains(1) || c.Contains(2) || !c.Contains(3) {
+		t.Fatal("LRU order violated")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions %d", c.Stats().Evictions)
+	}
+}
+
+func TestEvictionEvictsMultipleForLargeEntry(t *testing.T) {
+	c := New[int](100)
+	c.Access(1, 30, false)
+	c.Access(2, 30, false)
+	c.Access(3, 30, false)
+	c.Access(4, 90, false) // must evict all three
+	if c.Len() != 1 || !c.Contains(4) {
+		t.Fatalf("len=%d", c.Len())
+	}
+	if c.Stats().Evictions != 3 {
+		t.Fatalf("evictions %d", c.Stats().Evictions)
+	}
+}
+
+func TestOversizedEntryBypasses(t *testing.T) {
+	c := New[int](100)
+	c.Access(1, 50, false)
+	if c.Access(2, 200, false) {
+		t.Fatal("oversized entry hit")
+	}
+	if c.Contains(2) {
+		t.Fatal("oversized entry installed")
+	}
+	if !c.Contains(1) {
+		t.Fatal("oversized entry evicted residents")
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	c := New[int](100)
+	c.Access(1, 60, true)  // dirty
+	c.Access(2, 60, false) // evicts 1 → writeback
+	if c.Stats().Writebacks != 1 {
+		t.Fatalf("writebacks %d", c.Stats().Writebacks)
+	}
+	c.Access(3, 60, false) // evicts 2, clean
+	if c.Stats().Writebacks != 1 {
+		t.Fatal("clean eviction counted as writeback")
+	}
+}
+
+func TestWriteOnHitMarksDirty(t *testing.T) {
+	c := New[int](100)
+	c.Access(1, 60, false)
+	c.Access(1, 60, true) // hit that dirties
+	c.Access(2, 60, false)
+	if c.Stats().Writebacks != 1 {
+		t.Fatal("dirty-on-hit lost")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New[int](100)
+	c.Access(1, 40, true)
+	if !c.Invalidate(1) {
+		t.Fatal("resident entry not invalidated")
+	}
+	if c.Invalidate(1) {
+		t.Fatal("double invalidate")
+	}
+	if c.Used() != 0 {
+		t.Fatal("used not released")
+	}
+	if c.Stats().Writebacks != 0 {
+		t.Fatal("invalidate must not count a writeback")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := New[int](100)
+	c.Access(1, 40, true)
+	c.Access(2, 40, false)
+	c.Flush()
+	if c.Len() != 0 || c.Used() != 0 {
+		t.Fatal("flush left residents")
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Fatalf("flush writebacks %d", c.Stats().Writebacks)
+	}
+}
+
+func TestOnEvictCallback(t *testing.T) {
+	c := New[int](50)
+	var got []int
+	c.OnEvict = func(k int, _ int64, _ bool) { got = append(got, k) }
+	c.Access(1, 30, false)
+	c.Access(2, 30, false)
+	c.Access(3, 30, false)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("evict order %v", got)
+	}
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New[int](0)
+}
+
+func TestZeroSizeAccessPanics(t *testing.T) {
+	c := New[int](10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Access(1, 0, false)
+}
+
+func TestUsedNeverExceedsCapacityQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New[int](1000)
+		for i := 0; i < 500; i++ {
+			c.Access(rng.Intn(50), int64(1+rng.Intn(400)), rng.Intn(2) == 0)
+			if c.Used() > c.Capacity() {
+				return false
+			}
+		}
+		// Conservation: hits+misses = accesses; len matches entries.
+		s := c.Stats()
+		return s.Hits+s.Misses == 500 && c.Len() <= 50
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLRUMatchesReferenceModel(t *testing.T) {
+	// Property: against a simple slice-based LRU reference with uniform
+	// sizes, hits/misses agree exactly.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const capEntries = 8
+		c := New[int](capEntries) // size-1 entries
+		var ref []int             // ref[0] = MRU
+		for i := 0; i < 300; i++ {
+			k := rng.Intn(20)
+			got := c.Access(k, 1, false)
+			want := false
+			for j, rk := range ref {
+				if rk == k {
+					want = true
+					ref = append(ref[:j], ref[j+1:]...)
+					break
+				}
+			}
+			ref = append([]int{k}, ref...)
+			if len(ref) > capEntries {
+				ref = ref[:capEntries]
+			}
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchyInclusiveFill(t *testing.T) {
+	h := NewHierarchy[int]([]string{"L1", "L2"}, []int64{2, 10})
+	if lvl := h.Access(1, 1, false); lvl != 2 {
+		t.Fatalf("cold access served by %d, want DRAM (2)", lvl)
+	}
+	if lvl := h.Access(1, 1, false); lvl != 0 {
+		t.Fatalf("warm access served by %d, want L1", lvl)
+	}
+	// Push key 1 out of tiny L1 but not out of L2.
+	h.Access(2, 1, false)
+	h.Access(3, 1, false)
+	if lvl := h.Access(1, 1, false); lvl != 1 {
+		t.Fatalf("capacity-evicted key served by %d, want L2", lvl)
+	}
+	if h.DRAMReads != 3 {
+		t.Fatalf("DRAM reads %d want 3", h.DRAMReads)
+	}
+}
+
+func TestHierarchyDRAMWritebacks(t *testing.T) {
+	h := NewHierarchy[int]([]string{"LLC"}, []int64{2})
+	h.Access(1, 1, true)
+	h.Access(2, 1, true)
+	h.Access(3, 1, false) // evicts dirty 1
+	if h.DRAMWrites != 1 {
+		t.Fatalf("DRAM writes %d", h.DRAMWrites)
+	}
+	h.Flush()
+	if h.DRAMWrites != 2 {
+		t.Fatalf("after flush DRAM writes %d", h.DRAMWrites)
+	}
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	h := NewHierarchy[int]([]string{"L1", "LLC"}, []int64{4, 16})
+	for i := 0; i < 10; i++ {
+		h.Access(i%5, 1, false)
+	}
+	ls := h.Levels()
+	if len(ls) != 2 || ls[0].Name != "L1" || ls[1].Name != "LLC" {
+		t.Fatalf("levels %+v", ls)
+	}
+	if ls[0].Hits+ls[1].Hits+h.DRAMReads != 10 {
+		t.Fatal("level accounting does not sum to accesses")
+	}
+}
+
+func TestHierarchyBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHierarchy[int]([]string{"L1"}, []int64{1, 2})
+}

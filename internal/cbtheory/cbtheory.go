@@ -1,0 +1,272 @@
+// Package cbtheory implements the constant-bandwidth block analysis of the
+// CAKE paper: block shaping and sizing (Section 3), the CPU adaptation and
+// GOTO comparison (Section 4), arithmetic-intensity accounting (Figure 4),
+// and the LRU-eviction sizing rule (Section 4.3).
+//
+// Two unit systems appear, mirroring the paper:
+//
+//   - Tile units (Section 3): one abstract core computes one tile
+//     multiplication per unit time; bandwidth is tiles/cycle.
+//   - Element units (Section 4): a CPU core retires one mr×kc by kc×nr
+//     register-tile product per "unit time" of mr·nr·kc MACs; bandwidth is
+//     matrix elements per unit time, converted to bytes/s via the platform
+//     clock and MAC rate.
+package cbtheory
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBandwidthBound reports that the available external bandwidth is below
+// the floor a CB block can reach even as α→∞ (R ≤ 1 in Section 3.2): no
+// block shape balances IO with compute, so the computation is externally
+// bandwidth-bound regardless of schedule.
+var ErrBandwidthBound = errors.New("cbtheory: external bandwidth below CB floor (R <= 1)")
+
+// ---------------------------------------------------------------------------
+// Section 3: tile-unit analysis.
+// ---------------------------------------------------------------------------
+
+// AlphaForR returns the minimum aspect factor α satisfying the external
+// bandwidth constraint BW_ext ≥ BW_min, i.e. α ≥ 1/(R−1) (Section 3.2),
+// clamped below by 1 (the paper sets α = 1 when bandwidth is plentiful).
+func AlphaForR(r float64) (float64, error) {
+	if r <= 1 {
+		return math.Inf(1), ErrBandwidthBound
+	}
+	return math.Max(1, 1/(r-1)), nil
+}
+
+// MinExternalBWTiles returns Equation 2, the minimum external bandwidth of a
+// CB block in tiles/cycle: (α+1)/α · k.
+func MinExternalBWTiles(alpha, k float64) float64 {
+	return (alpha + 1) / alpha * k
+}
+
+// InternalMemTiles returns Equation 1, the local memory needed by one CB
+// block in tiles: αpk² + pk² + αp²k².
+func InternalMemTiles(alpha, p, k float64) float64 {
+	return alpha*p*k*k + p*k*k + alpha*p*p*k*k
+}
+
+// InternalBWTiles returns Equation 3, the internal bandwidth requirement in
+// tiles/cycle: Rk + 2pk.
+func InternalBWTiles(r, p, k float64) float64 {
+	return r*k + 2*p*k
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic intensity (Figure 4).
+// ---------------------------------------------------------------------------
+
+// BlockAI returns the arithmetic intensity V/IO of an m×k×n block counting
+// all three IO surfaces: mkn / (mk + kn + mn). Units: MACs per element.
+func BlockAI(m, k, n float64) float64 {
+	return m * k * n / (m*k + k*n + m*n)
+}
+
+// BlockAIResident returns the arithmetic intensity when the C surface stays
+// resident in local memory (CAKE's partial-result reuse): mkn / (mk + kn).
+func BlockAIResident(m, k, n float64) float64 {
+	return m * k * n / (m*k + k*n)
+}
+
+// ---------------------------------------------------------------------------
+// Section 4: CPU element-unit analysis.
+// ---------------------------------------------------------------------------
+
+// CakeExtBWElems returns Equation 4: CAKE's required external bandwidth in
+// elements per unit time, (α+1)/α · mr·nr. Independent of p — the
+// constant-bandwidth property.
+func CakeExtBWElems(alpha float64, mr, nr int) float64 {
+	return (alpha + 1) / alpha * float64(mr*nr)
+}
+
+// GotoExtBWElems returns Section 4.1's result: GOTO's required external
+// bandwidth in elements per unit time, (1 + p + p·kc/nc) · mr·nr, which
+// grows at least linearly in p.
+func GotoExtBWElems(p int, kc, nc int, mr, nr int) float64 {
+	return (1 + float64(p) + float64(kc)/float64(nc)*float64(p)) * float64(mr*nr)
+}
+
+// CakeLocalMemElems returns Equation 5: local memory for a CB block in
+// elements, p·mc·kc·(α+1) + α·p²·mc².
+func CakeLocalMemElems(p int, mc, kc int, alpha float64) float64 {
+	return float64(p*mc*kc)*(alpha+1) + alpha*float64(p*p)*float64(mc)*float64(mc)
+}
+
+// CakeInternalBWElems returns Equation 6: internal bandwidth in elements per
+// unit time, (2p + 1/α + 1) · mr·nr — linear in p.
+func CakeInternalBWElems(p int, alpha float64, mr, nr int) float64 {
+	return (2*float64(p) + 1/alpha + 1) * float64(mr*nr)
+}
+
+// ---------------------------------------------------------------------------
+// Unit conversion: element units → bytes/second on a concrete CPU.
+// ---------------------------------------------------------------------------
+
+// Rates captures the per-core compute capability used to convert the
+// paper's per-unit-time bandwidths into wall-clock bytes/s.
+type Rates struct {
+	ClockHz       float64 // core clock
+	FlopsPerCycle float64 // per-core FLOPs/cycle (one MAC = 2 FLOPs)
+	ElemBytes     int     // bytes per matrix element (4 for float32)
+}
+
+// UnitSeconds returns the duration of one Section 4 unit time — one core
+// retiring an mr×kc × kc×nr register-tile product (mr·nr·kc MACs).
+func (r Rates) UnitSeconds(mr, nr, kc int) float64 {
+	macsPerSec := r.ClockHz * r.FlopsPerCycle / 2
+	return float64(mr*nr*kc) / macsPerSec
+}
+
+// BytesPerSec converts a bandwidth in elements per unit time to bytes/s.
+func (r Rates) BytesPerSec(elemsPerUnit float64, mr, nr, kc int) float64 {
+	return elemsPerUnit * float64(r.ElemBytes) / r.UnitSeconds(mr, nr, kc)
+}
+
+// CakeOptimalDRAMBW returns the paper's "CAKE Optimal" dashed curve value:
+// the external bandwidth (bytes/s) a CB block of the given shape needs,
+// which is independent of core count.
+func CakeOptimalDRAMBW(r Rates, alpha float64, mr, nr, kc int) float64 {
+	return r.BytesPerSec(CakeExtBWElems(alpha, mr, nr), mr, nr, kc)
+}
+
+// GotoRequiredDRAMBW returns GOTO's required external bandwidth in bytes/s
+// at p cores.
+func GotoRequiredDRAMBW(r Rates, p, kc, nc, mr, nr int) float64 {
+	return r.BytesPerSec(GotoExtBWElems(p, kc, nc, mr, nr), mr, nr, kc)
+}
+
+// RForBandwidth returns the paper's R constant for an available external
+// bandwidth (bytes/s): the ratio of available bandwidth to the α→∞ CB
+// floor, which for the CPU formulation is clock·flops/2/kc · mr·nr/(mr·nr)
+// elements per unit. R > 1 means a finite α exists.
+func RForBandwidth(r Rates, availBytesPerSec float64, mr, nr, kc int) float64 {
+	floor := r.BytesPerSec(float64(mr*nr), mr, nr, kc) // (α+1)/α → 1 as α→∞
+	return availBytesPerSec / floor
+}
+
+// AlphaForBandwidth picks α for a platform: the smallest α ≥ 1 whose CB
+// block external bandwidth fits in availBytesPerSec, capped at maxAlpha.
+// When even maxAlpha cannot fit (R ≤ 1 + 1/maxAlpha), it returns maxAlpha
+// together with ErrBandwidthBound so callers can proceed bandwidth-bound,
+// as CAKE on the ARM A53 does.
+func AlphaForBandwidth(r Rates, availBytesPerSec float64, mr, nr, kc int, maxAlpha float64) (float64, error) {
+	if maxAlpha < 1 {
+		panic(fmt.Sprintf("cbtheory: maxAlpha %v < 1", maxAlpha))
+	}
+	rr := RForBandwidth(r, availBytesPerSec, mr, nr, kc)
+	alpha, err := AlphaForR(rr)
+	if err != nil || alpha > maxAlpha {
+		if err == nil {
+			err = ErrBandwidthBound
+		}
+		return maxAlpha, err
+	}
+	return alpha, nil
+}
+
+// ---------------------------------------------------------------------------
+// Section 4.3: sizing CB blocks to minimise cache evictions.
+// ---------------------------------------------------------------------------
+
+// LRUSafe reports whether surfaces of the given sizes (elements) satisfy the
+// Section 4.3 rule C + 2(A+B) ≤ S for a cache of sElems elements, which
+// guarantees the resident partial-C surface survives the prefetch of the
+// next block's A and B under LRU eviction.
+func LRUSafe(aElems, bElems, cElems, sElems float64) bool {
+	return cElems+2*(aElems+bElems) <= sElems
+}
+
+// MaxMCForCache returns the largest mc (= kc, the square per-core A block
+// side) such that a CB block of p cores and aspect α passes LRUSafe in a
+// cache of sElems elements, rounded down to a multiple of mr (so A row
+// panels tile evenly) and clamped below at mr.
+//
+// With mc = kc the rule C + 2(A+B) ≤ S becomes
+//
+//	α·p²·mc² + 2·(1+α)·p·mc² ≤ S.
+func MaxMCForCache(sElems float64, p int, alpha float64, mr int) int {
+	if p < 1 || mr < 1 || sElems <= 0 {
+		panic(fmt.Sprintf("cbtheory: MaxMCForCache invalid args S=%v p=%d mr=%d", sElems, p, mr))
+	}
+	den := alpha*float64(p*p) + 2*(1+alpha)*float64(p)
+	mc := int(math.Sqrt(sElems / den))
+	mc -= mc % mr
+	if mc < mr {
+		mc = mr
+	}
+	return mc
+}
+
+// Shape is a fully resolved CB block for a CPU: p·mc × kc × α·p·mc
+// (Section 4.2's pmc × kc × αpmc with k = 1).
+type Shape struct {
+	P     int     // cores
+	MC    int     // per-core A block rows (= kc in the paper's square form; the planner may shrink MC below KC to even out block rows)
+	KC    int     // reduction depth per block
+	Alpha float64 // aspect factor, ≥ 1 or the bandwidth-bound cap
+}
+
+// MDim returns the block's M extent, p·mc.
+func (s Shape) MDim() int { return s.P * s.MC }
+
+// KDim returns the block's K extent, kc.
+func (s Shape) KDim() int { return s.KC }
+
+// NDim returns the block's N extent, α·p·mc rounded to a whole number of
+// elements (at α = 1 this equals MDim).
+func (s Shape) NDim() int { return int(math.Round(s.Alpha * float64(s.P*s.MC))) }
+
+// SurfaceElems returns the sizes of the three IO surfaces in elements.
+func (s Shape) SurfaceElems() (a, b, c float64) {
+	m, k, n := float64(s.MDim()), float64(s.KDim()), float64(s.NDim())
+	return m * k, k * n, m * n
+}
+
+// ExternalIOElems returns the per-block external traffic A+B (partial C
+// stays resident; Section 4.2).
+func (s Shape) ExternalIOElems() float64 {
+	a, b, _ := s.SurfaceElems()
+	return a + b
+}
+
+// LocalMemElems returns the total local memory footprint A+B+C.
+func (s Shape) LocalMemElems() float64 {
+	a, b, c := s.SurfaceElems()
+	return a + b + c
+}
+
+// ComputeUnits returns the block compute time in unit times for the given
+// register tile: each of the p cores performs (mc/mr)·(n/nr)·1 tile products
+// of depth kc, i.e. mc·n·kc/(mr·nr·kc) = α·p·mc²/(mr·nr) units (Section 4.2).
+func (s Shape) ComputeUnits(mr, nr int) float64 {
+	return float64(s.MDim()) * float64(s.NDim()) / float64(s.P) / float64(mr*nr)
+}
+
+// AI returns the block's external arithmetic intensity in MACs/element with
+// partial C resident.
+func (s Shape) AI() float64 {
+	return BlockAIResident(float64(s.MDim()), float64(s.KDim()), float64(s.NDim()))
+}
+
+// Validate checks structural invariants.
+func (s Shape) Validate() error {
+	switch {
+	case s.P < 1:
+		return fmt.Errorf("cbtheory: shape has %d cores", s.P)
+	case s.MC < 1 || s.KC < 1:
+		return fmt.Errorf("cbtheory: shape has empty block %dx%d", s.MC, s.KC)
+	case s.Alpha < 1:
+		return fmt.Errorf("cbtheory: alpha %v < 1", s.Alpha)
+	default:
+		return nil
+	}
+}
+
+func (s Shape) String() string {
+	return fmt.Sprintf("CB[%dx%dx%d p=%d mc=%d alpha=%.3g]", s.MDim(), s.KDim(), s.NDim(), s.P, s.MC, s.Alpha)
+}

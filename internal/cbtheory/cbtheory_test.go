@@ -1,0 +1,386 @@
+package cbtheory
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAlphaForR(t *testing.T) {
+	// Plentiful bandwidth: α clamps to 1.
+	if a, err := AlphaForR(3); err != nil || a != 1 {
+		t.Fatalf("R=3: α=%v err=%v, want 1", a, err)
+	}
+	// R=2 ⇒ 1/(R−1)=1 exactly.
+	if a, _ := AlphaForR(2); a != 1 {
+		t.Fatalf("R=2: α=%v want 1", a)
+	}
+	// Scarce bandwidth: α = 1/(R−1) > 1.
+	if a, _ := AlphaForR(1.25); !almost(a, 4, 1e-12) {
+		t.Fatalf("R=1.25: α=%v want 4", a)
+	}
+	// R ≤ 1: no finite α.
+	if _, err := AlphaForR(1); err != ErrBandwidthBound {
+		t.Fatalf("R=1 should be bandwidth-bound, got %v", err)
+	}
+	if _, err := AlphaForR(0.5); err != ErrBandwidthBound {
+		t.Fatal("R<1 should be bandwidth-bound")
+	}
+}
+
+func TestMinExternalBWEq2(t *testing.T) {
+	// Eq. 2 at α=1: 2k tiles/cycle.
+	if bw := MinExternalBWTiles(1, 3); bw != 6 {
+		t.Fatalf("got %v want 6", bw)
+	}
+	// α→large: approaches k.
+	if bw := MinExternalBWTiles(1e9, 3); !almost(bw, 3, 1e-6) {
+		t.Fatalf("α→∞ limit wrong: %v", bw)
+	}
+	// Raising α strictly lowers the requirement (the paper's compensation).
+	if MinExternalBWTiles(4, 2) >= MinExternalBWTiles(2, 2) {
+		t.Fatal("BW_min must decrease with α")
+	}
+}
+
+func TestInternalMemEq1QuadraticInP(t *testing.T) {
+	// Doubling p must grow memory ~4x once the αp²k² term dominates.
+	base := InternalMemTiles(1, 64, 1)
+	quad := InternalMemTiles(1, 128, 1)
+	ratio := quad / base
+	if ratio < 3.5 || ratio > 4.1 {
+		t.Fatalf("p² scaling violated: ratio %v", ratio)
+	}
+	// Exact value check: α=2, p=3, k=2 ⇒ 2·3·4 + 3·4 + 2·9·4 = 24+12+72.
+	if m := InternalMemTiles(2, 3, 2); m != 108 {
+		t.Fatalf("Eq.1 got %v want 108", m)
+	}
+}
+
+func TestInternalBWEq3LinearInP(t *testing.T) {
+	// Eq. 3: Rk + 2pk.
+	if bw := InternalBWTiles(1.5, 4, 2); bw != 1.5*2+2*4*2 {
+		t.Fatalf("Eq.3 got %v", bw)
+	}
+	d1 := InternalBWTiles(2, 10, 1) - InternalBWTiles(2, 9, 1)
+	d2 := InternalBWTiles(2, 100, 1) - InternalBWTiles(2, 99, 1)
+	if d1 != d2 || d1 != 2 {
+		t.Fatalf("internal BW must be linear in p with slope 2k: %v %v", d1, d2)
+	}
+}
+
+func TestBlockAI(t *testing.T) {
+	// Cube block m=k=n=s: AI = s³/3s² = s/3.
+	if ai := BlockAI(6, 6, 6); !almost(ai, 2, 1e-12) {
+		t.Fatalf("cube AI got %v want 2", ai)
+	}
+	// Resident-C AI of the same cube: s³/2s² = s/2.
+	if ai := BlockAIResident(6, 6, 6); !almost(ai, 3, 1e-12) {
+		t.Fatalf("resident AI got %v want 3", ai)
+	}
+}
+
+func TestFig4ConstantBandwidthProperty(t *testing.T) {
+	// Figure 4: scaling a CB block from p to 2p (m and n both double, k
+	// fixed) doubles volume/time but keeps IO/time — external bandwidth —
+	// constant, while AI increases.
+	type blk struct{ m, k, n float64 }
+	mk, kk := 4.0, 4.0
+	blocks := []blk{
+		{mk, kk, 1 * mk},
+		{2 * mk, kk, 2 * mk},
+		{4 * mk, kk, 4 * mk},
+	}
+	var bw0, ai0 float64
+	for i, b := range blocks {
+		io := b.m*b.k + b.k*b.n // A and B surfaces (C resident)
+		tUnits := b.n           // paper: T = n unit times (N-dimension compute)
+		bw := io / tUnits
+		ai := BlockAIResident(b.m, b.k, b.n)
+		if i == 0 {
+			bw0, ai0 = bw, ai
+			continue
+		}
+		if !almost(bw, bw0, 1e-9) {
+			t.Fatalf("block %d: BW %v != %v — constant-bandwidth property broken", i, bw, bw0)
+		}
+		if ai <= ai0 {
+			t.Fatalf("block %d: AI %v not increasing (prev %v)", i, ai, ai0)
+		}
+		ai0 = ai
+	}
+}
+
+func TestCakeExtBWEq4IndependentOfP(t *testing.T) {
+	// Eq. 4 has no p: verify the formula and its α behaviour.
+	if bw := CakeExtBWElems(1, 8, 8); bw != 128 {
+		t.Fatalf("α=1 got %v want 128", bw)
+	}
+	if bw := CakeExtBWElems(3, 8, 8); !almost(bw, 4.0/3*64, 1e-12) {
+		t.Fatalf("α=3 got %v", bw)
+	}
+	if CakeExtBWElems(4, 8, 8) >= CakeExtBWElems(2, 8, 8) {
+		t.Fatal("ext BW must fall as α rises")
+	}
+}
+
+func TestGotoExtBWGrowsLinearlyInP(t *testing.T) {
+	kc, nc, mr, nr := 192, 4096, 8, 8
+	b1 := GotoExtBWElems(1, kc, nc, mr, nr)
+	b2 := GotoExtBWElems(2, kc, nc, mr, nr)
+	b4 := GotoExtBWElems(4, kc, nc, mr, nr)
+	if !(b4 > b2 && b2 > b1) {
+		t.Fatal("GOTO BW must grow with p")
+	}
+	// Slope: (1 + kc/nc)·mr·nr per extra core.
+	slope := float64(mr*nr) * (1 + float64(kc)/float64(nc))
+	if !almost(b2-b1, slope, 1e-9) || !almost(b4-b2, 2*slope, 1e-9) {
+		t.Fatalf("GOTO BW slope wrong: %v vs %v", b2-b1, slope)
+	}
+}
+
+func TestCakeVsGotoCrossover(t *testing.T) {
+	// Section 4's headline: at p=1 the two are comparable; as p grows GOTO's
+	// requirement exceeds CAKE's constant requirement.
+	kc, nc, mr, nr := 192, 4096, 8, 8
+	cake := CakeExtBWElems(1, mr, nr)
+	if GotoExtBWElems(1, kc, nc, mr, nr) > 3*cake {
+		t.Fatal("at p=1 GOTO should not already be far above CAKE")
+	}
+	if GotoExtBWElems(16, kc, nc, mr, nr) < 4*cake {
+		t.Fatal("at p=16 GOTO must need multiples of CAKE's bandwidth")
+	}
+}
+
+func TestCakeLocalMemEq5(t *testing.T) {
+	// p=2, mc=kc=3, α=2: 2·3·3·3 + 2·4·9 = 54 + 72 = 126.
+	if m := CakeLocalMemElems(2, 3, 3, 2); m != 126 {
+		t.Fatalf("Eq.5 got %v want 126", m)
+	}
+	// Quadratic growth in p.
+	r := CakeLocalMemElems(64, 16, 16, 1) / CakeLocalMemElems(32, 16, 16, 1)
+	if r < 3.5 || r > 4.2 {
+		t.Fatalf("Eq.5 p² growth: ratio %v", r)
+	}
+}
+
+func TestCakeInternalBWEq6(t *testing.T) {
+	// (2p + 1/α + 1)·mr·nr with p=2, α=1, 4x4: (4+1+1)*16 = 96.
+	if bw := CakeInternalBWElems(2, 1, 4, 4); bw != 96 {
+		t.Fatalf("Eq.6 got %v want 96", bw)
+	}
+	d := CakeInternalBWElems(10, 1, 8, 8) - CakeInternalBWElems(9, 1, 8, 8)
+	if d != 2*64 {
+		t.Fatalf("Eq.6 slope got %v want 128", d)
+	}
+}
+
+func TestRatesConversions(t *testing.T) {
+	r := Rates{ClockHz: 1e9, FlopsPerCycle: 2, ElemBytes: 4}
+	// One unit = mr·nr·kc MACs at 1 GMAC/s.
+	if u := r.UnitSeconds(8, 8, 100); !almost(u, 6400e-9, 1e-15) {
+		t.Fatalf("UnitSeconds got %v", u)
+	}
+	// 64 elems/unit → 64*4 bytes / 6.4e-6 s = 40 MB/s.
+	if b := r.BytesPerSec(64, 8, 8, 100); !almost(b, 40e6, 1) {
+		t.Fatalf("BytesPerSec got %v", b)
+	}
+}
+
+func TestCakeOptimalConstantInKernelScale(t *testing.T) {
+	// The optimal DRAM BW depends on kc, not on p. Doubling kc halves it.
+	r := Rates{ClockHz: 3.7e9, FlopsPerCycle: 32, ElemBytes: 4}
+	b1 := CakeOptimalDRAMBW(r, 1, 8, 8, 96)
+	b2 := CakeOptimalDRAMBW(r, 1, 8, 8, 192)
+	if !almost(b1/b2, 2, 1e-9) {
+		t.Fatalf("optimal BW should scale as 1/kc: %v vs %v", b1, b2)
+	}
+}
+
+func TestAlphaForBandwidth(t *testing.T) {
+	r := Rates{ClockHz: 1e9, FlopsPerCycle: 2, ElemBytes: 4}
+	kc := 100
+	floor := r.BytesPerSec(64, 8, 8, kc) // α→∞ requirement
+
+	// Plenty of bandwidth (R=3): α = 1.
+	a, err := AlphaForBandwidth(r, 3*floor, 8, 8, kc, 64)
+	if err != nil || a != 1 {
+		t.Fatalf("R=3: α=%v err=%v", a, err)
+	}
+	// R = 1.25: α = 4.
+	a, err = AlphaForBandwidth(r, 1.25*floor, 8, 8, kc, 64)
+	if err != nil || !almost(a, 4, 1e-9) {
+		t.Fatalf("R=1.25: α=%v err=%v", a, err)
+	}
+	// R below 1: capped with error.
+	a, err = AlphaForBandwidth(r, 0.9*floor, 8, 8, kc, 64)
+	if err != ErrBandwidthBound || a != 64 {
+		t.Fatalf("R<1: α=%v err=%v", a, err)
+	}
+	// Finite R but α demand above cap.
+	a, err = AlphaForBandwidth(r, 1.01*floor, 8, 8, kc, 8)
+	if err != ErrBandwidthBound || a != 8 {
+		t.Fatalf("cap: α=%v err=%v", a, err)
+	}
+}
+
+func TestAlphaForBandwidthBadCapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AlphaForBandwidth(Rates{ClockHz: 1, FlopsPerCycle: 2, ElemBytes: 4}, 1, 8, 8, 1, 0.5)
+}
+
+func TestLRUSafe(t *testing.T) {
+	if !LRUSafe(10, 10, 50, 90) {
+		t.Fatal("50+2·20=90 ≤ 90 must pass")
+	}
+	if LRUSafe(10, 10, 51, 90) {
+		t.Fatal("91 > 90 must fail")
+	}
+}
+
+func TestMaxMCForCache(t *testing.T) {
+	// The returned mc must satisfy LRUSafe; mc+mr must not.
+	for _, tc := range []struct {
+		s     float64
+		p     int
+		alpha float64
+		mr    int
+	}{
+		{20 << 20 >> 2, 10, 1, 8}, // Intel i9 L3 in float32 elements
+		{64 << 20 >> 2, 16, 1, 8}, // AMD 5950X
+		{512 << 10 >> 2, 4, 4, 8}, // ARM A53 L2, α=4
+	} {
+		mc := MaxMCForCache(tc.s, tc.p, tc.alpha, tc.mr)
+		if mc%tc.mr != 0 {
+			t.Fatalf("mc=%d not multiple of mr=%d", mc, tc.mr)
+		}
+		a := float64(tc.p * mc * mc)
+		b := tc.alpha * float64(tc.p*mc*mc)
+		c := tc.alpha * float64(tc.p*tc.p) * float64(mc*mc)
+		if !LRUSafe(a, b, c, tc.s) {
+			t.Fatalf("mc=%d violates LRU rule for %+v", mc, tc)
+		}
+		mc2 := mc + tc.mr
+		a2 := float64(tc.p * mc2 * mc2)
+		b2 := tc.alpha * float64(tc.p*mc2*mc2)
+		c2 := tc.alpha * float64(tc.p*tc.p) * float64(mc2*mc2)
+		if LRUSafe(a2, b2, c2, tc.s) {
+			t.Fatalf("mc=%d is not maximal for %+v", mc, tc)
+		}
+	}
+}
+
+func TestMaxMCForCacheIntelMatchesPaper(t *testing.T) {
+	// Section 4.4: on the i9-10900K with p=10, α=1, the paper uses
+	// mc = kc = 192 with B and C filling the L3. Our LRU-safe rule is
+	// stricter (the paper's 192 fills the cache exactly; the safe size
+	// backs off by the 2(A+B) guard), so we must land within [128, 192].
+	sElems := float64(20<<20) / 4
+	mc := MaxMCForCache(sElems, 10, 1, 8)
+	if mc < 128 || mc > 192 {
+		t.Fatalf("Intel mc=%d, want within [128,192]", mc)
+	}
+}
+
+func TestMaxMCForCacheTinyCacheClamps(t *testing.T) {
+	if mc := MaxMCForCache(10, 64, 8, 8); mc != 8 {
+		t.Fatalf("tiny cache should clamp to mr: %d", mc)
+	}
+}
+
+func TestMaxMCForCacheInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MaxMCForCache(0, 1, 1, 8)
+}
+
+func TestShapeGeometry(t *testing.T) {
+	s := Shape{P: 10, MC: 192, KC: 192, Alpha: 1}
+	if s.MDim() != 1920 || s.NDim() != 1920 || s.KDim() != 192 {
+		t.Fatalf("dims: %d %d %d", s.MDim(), s.KDim(), s.NDim())
+	}
+	a, b, c := s.SurfaceElems()
+	if a != 1920*192 || b != 192*1920 || c != 1920*1920 {
+		t.Fatalf("surfaces: %v %v %v", a, b, c)
+	}
+	if s.ExternalIOElems() != a+b {
+		t.Fatal("external IO must exclude resident C")
+	}
+	if s.LocalMemElems() != a+b+c {
+		t.Fatal("local mem must include all surfaces")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShapePaperL3Split(t *testing.T) {
+	// Section 4.4 example: i9, p=10, α=1, mc=kc=192 ⇒ C is 91% and B 9% of
+	// the B+C footprint in L3.
+	s := Shape{P: 10, MC: 192, KC: 192, Alpha: 1}
+	_, b, c := s.SurfaceElems()
+	cShare := c / (b + c)
+	if cShare < 0.89 || cShare > 0.93 {
+		t.Fatalf("C share of L3 = %v, paper says ~0.91", cShare)
+	}
+}
+
+func TestShapeComputeUnits(t *testing.T) {
+	s := Shape{P: 2, MC: 16, KC: 16, Alpha: 1}
+	// T = α·p·mc²/(mr·nr) = 2·256/64 = 8 units for 8x8 tiles.
+	if u := s.ComputeUnits(8, 8); u != 8 {
+		t.Fatalf("ComputeUnits got %v want 8", u)
+	}
+}
+
+func TestShapeValidate(t *testing.T) {
+	for _, bad := range []Shape{
+		{P: 0, MC: 1, KC: 1, Alpha: 1},
+		{P: 1, MC: 0, KC: 1, Alpha: 1},
+		{P: 1, MC: 1, KC: 0, Alpha: 1},
+		{P: 1, MC: 1, KC: 1, Alpha: 0.5},
+	} {
+		if bad.Validate() == nil {
+			t.Fatalf("Validate accepted %+v", bad)
+		}
+	}
+}
+
+func TestShapeStringStable(t *testing.T) {
+	s := Shape{P: 2, MC: 8, KC: 8, Alpha: 1}
+	if s.String() != "CB[16x8x16 p=2 mc=8 alpha=1]" {
+		t.Fatalf("String: %q", s.String())
+	}
+}
+
+func TestShapeBWConstantAcrossPQuick(t *testing.T) {
+	// Property (the paper's core claim): for random mc and α, per-block
+	// external IO divided by compute time is independent of p.
+	f := func(seed int64) bool {
+		mc := 8 * (1 + int(uint(seed)%20))
+		alpha := 1 + float64(uint(seed)%5)
+		ref := math.NaN()
+		for _, p := range []int{1, 2, 4, 8} {
+			s := Shape{P: p, MC: mc, KC: mc, Alpha: alpha}
+			bw := s.ExternalIOElems() / s.ComputeUnits(8, 8)
+			if math.IsNaN(ref) {
+				ref = bw
+			} else if !almost(bw, ref, 1e-6*ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,251 @@
+package convnet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+func testExec(t *testing.T) *core.Executor[float64] {
+	t.Helper()
+	cfg := core.Config{Cores: 2, MC: 16, KC: 16, Alpha: 1, MR: 8, NR: 8, Order: core.OrderAuto}
+	e, err := core.NewExecutor[float64](cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+func TestTensorBasics(t *testing.T) {
+	ten := NewTensor[float64](2, 3, 4)
+	ten.Set(1, 2, 3, 5)
+	if ten.At(1, 2, 3) != 5 {
+		t.Fatal("At/Set")
+	}
+	m := ten.AsMatrix()
+	if m.Rows != 2 || m.Cols != 12 {
+		t.Fatalf("AsMatrix %dx%d", m.Rows, m.Cols)
+	}
+	m.Set(1, 11, 9)
+	if ten.At(1, 2, 3) != 9 {
+		t.Fatal("AsMatrix must share storage")
+	}
+}
+
+func TestNewTensorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTensor[float32](0, 1, 1)
+}
+
+func TestConvSpecValidateAndDims(t *testing.T) {
+	s := ConvSpec{InC: 3, OutC: 8, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	if s.Validate() != nil {
+		t.Fatal("valid spec rejected")
+	}
+	if oh, ow := s.OutDims(16, 20); oh != 16 || ow != 20 {
+		t.Fatalf("same-pad dims %dx%d", oh, ow)
+	}
+	s2 := ConvSpec{InC: 1, OutC: 1, KH: 2, KW: 2, Stride: 2, Pad: 0}
+	if oh, ow := s2.OutDims(8, 8); oh != 4 || ow != 4 {
+		t.Fatalf("strided dims %dx%d", oh, ow)
+	}
+	for _, bad := range []ConvSpec{
+		{InC: 0, OutC: 1, KH: 1, KW: 1, Stride: 1},
+		{InC: 1, OutC: 1, KH: 0, KW: 1, Stride: 1},
+		{InC: 1, OutC: 1, KH: 1, KW: 1, Stride: 0},
+		{InC: 1, OutC: 1, KH: 1, KW: 1, Stride: 1, Pad: -1},
+	} {
+		if bad.Validate() == nil {
+			t.Fatalf("accepted %+v", bad)
+		}
+	}
+}
+
+func TestIm2ColKnownValues(t *testing.T) {
+	// 1 channel, 2x2 input, 1x1 kernel: patches = input row-major.
+	in := NewTensor[float64](1, 2, 2)
+	in.Set(0, 0, 0, 1)
+	in.Set(0, 0, 1, 2)
+	in.Set(0, 1, 0, 3)
+	in.Set(0, 1, 1, 4)
+	p, err := Im2Col(in, ConvSpec{InC: 1, OutC: 1, KH: 1, KW: 1, Stride: 1, Pad: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rows != 1 || p.Cols != 4 || p.At(0, 0) != 1 || p.At(0, 3) != 4 {
+		t.Fatalf("im2col 1x1: %v", p)
+	}
+}
+
+func TestIm2ColPaddingZeros(t *testing.T) {
+	in := NewTensor[float64](1, 2, 2)
+	in.Set(0, 0, 0, 7)
+	s := ConvSpec{InC: 1, OutC: 1, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	p, err := Im2Col(in, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patch row 0 (ky=0,kx=0) at output (0,0) reads in(-1,-1) = 0 padding.
+	if p.At(0, 0) != 0 {
+		t.Fatal("padding not zero")
+	}
+	// Centre tap (ky=1,kx=1) at output (0,0) reads in(0,0) = 7.
+	if p.At(4, 0) != 7 {
+		t.Fatalf("centre tap %v", p.At(4, 0))
+	}
+}
+
+func TestIm2ColErrors(t *testing.T) {
+	in := NewTensor[float64](2, 4, 4)
+	if _, err := Im2Col(in, ConvSpec{InC: 3, OutC: 1, KH: 1, KW: 1, Stride: 1}); err == nil {
+		t.Fatal("channel mismatch accepted")
+	}
+	if _, err := Im2Col(in, ConvSpec{InC: 2, OutC: 1, KH: 9, KW: 9, Stride: 1}); err == nil {
+		t.Fatal("oversized kernel accepted")
+	}
+}
+
+func TestConvAsGemmMatchesDirect(t *testing.T) {
+	exec := testExec(t)
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []ConvSpec{
+		{InC: 3, OutC: 8, KH: 3, KW: 3, Stride: 1, Pad: 1},
+		{InC: 2, OutC: 4, KH: 5, KW: 5, Stride: 1, Pad: 2},
+		{InC: 4, OutC: 6, KH: 3, KW: 3, Stride: 2, Pad: 1},
+		{InC: 1, OutC: 1, KH: 1, KW: 1, Stride: 1, Pad: 0},
+		{InC: 2, OutC: 3, KH: 2, KW: 4, Stride: 3, Pad: 0},
+	} {
+		l, err := NewLayer[float64]("t", tc, false, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := NewTensor[float64](tc.InC, 11, 13)
+		in.Randomize(rng)
+		got, _, err := l.Forward(in, exec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := DirectConv(in, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gm := matrix.FromSlice(1, len(got.Data), got.Data)
+		wm := matrix.FromSlice(1, len(want.Data), want.Data)
+		if !gm.AlmostEqual(wm, tc.InC*tc.KH*tc.KW, 1e-12) {
+			t.Fatalf("spec %+v: GEMM conv differs from direct: %g", tc, gm.MaxAbsDiff(wm))
+		}
+	}
+}
+
+func TestConvQuick(t *testing.T) {
+	exec := testExec(t)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := ConvSpec{
+			InC: 1 + rng.Intn(4), OutC: 1 + rng.Intn(6),
+			KH: 1 + rng.Intn(4), KW: 1 + rng.Intn(4),
+			Stride: 1 + rng.Intn(2), Pad: rng.Intn(2),
+		}
+		h, w := s.KH+rng.Intn(8), s.KW+rng.Intn(8)
+		l, err := NewLayer[float64]("q", s, rng.Intn(2) == 0, rng)
+		if err != nil {
+			return false
+		}
+		in := NewTensor[float64](s.InC, h, w)
+		in.Randomize(rng)
+		got, _, err := l.Forward(in, exec)
+		if err != nil {
+			return false
+		}
+		want, err := DirectConv(in, l)
+		if err != nil {
+			return false
+		}
+		gm := matrix.FromSlice(1, len(got.Data), got.Data)
+		wm := matrix.FromSlice(1, len(want.Data), want.Data)
+		return gm.AlmostEqual(wm, s.InC*s.KH*s.KW, 1e-11)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReLU(t *testing.T) {
+	exec := testExec(t)
+	rng := rand.New(rand.NewSource(2))
+	s := ConvSpec{InC: 1, OutC: 2, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	l, err := NewLayer[float64]("relu", s, true, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewTensor[float64](1, 8, 8)
+	in.Randomize(rng)
+	out, _, err := l.Forward(in, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out.Data {
+		if v < 0 {
+			t.Fatal("ReLU let a negative through")
+		}
+	}
+}
+
+func TestMaxPool2x2(t *testing.T) {
+	in := NewTensor[float64](1, 4, 4)
+	in.Set(0, 0, 0, 1)
+	in.Set(0, 0, 1, 9)
+	in.Set(0, 1, 0, 2)
+	in.Set(0, 1, 1, 3)
+	out := MaxPool2x2(in)
+	if out.H != 2 || out.W != 2 {
+		t.Fatalf("pool dims %dx%d", out.H, out.W)
+	}
+	if out.At(0, 0, 0) != 9 {
+		t.Fatalf("pool max %v", out.At(0, 0, 0))
+	}
+}
+
+func TestNetworkForward(t *testing.T) {
+	exec := testExec(t)
+	rng := rand.New(rand.NewSource(3))
+	l1, _ := NewLayer[float64]("c1", ConvSpec{InC: 3, OutC: 8, KH: 3, KW: 3, Stride: 1, Pad: 1}, true, rng)
+	l2, _ := NewLayer[float64]("c2", ConvSpec{InC: 8, OutC: 16, KH: 3, KW: 3, Stride: 1, Pad: 1}, true, rng)
+	net, err := NewNetwork(exec, []*Layer[float64]{l1, l2}, []bool{true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewTensor[float64](3, 16, 16)
+	in.Randomize(rng)
+	out, st, err := net.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.C != 16 || out.H != 4 || out.W != 4 {
+		t.Fatalf("network output %dx%dx%d", out.C, out.H, out.W)
+	}
+	if st.Blocks < 2 || st.ComputeNanos <= 0 {
+		t.Fatalf("aggregated stats %+v", st)
+	}
+}
+
+func TestNetworkValidation(t *testing.T) {
+	exec := testExec(t)
+	rng := rand.New(rand.NewSource(4))
+	l1, _ := NewLayer[float64]("c1", ConvSpec{InC: 3, OutC: 8, KH: 3, KW: 3, Stride: 1, Pad: 1}, true, rng)
+	l2, _ := NewLayer[float64]("c2", ConvSpec{InC: 4, OutC: 16, KH: 3, KW: 3, Stride: 1, Pad: 1}, true, rng)
+	if _, err := NewNetwork(exec, []*Layer[float64]{l1, l2}, []bool{false, false}); err == nil {
+		t.Fatal("channel mismatch accepted")
+	}
+	if _, err := NewNetwork(exec, []*Layer[float64]{l1}, nil); err == nil {
+		t.Fatal("pool flag mismatch accepted")
+	}
+}

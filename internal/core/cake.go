@@ -1,0 +1,439 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/matrix"
+	"repro/internal/packing"
+	"repro/internal/pool"
+	"repro/internal/schedule"
+)
+
+// Stats summarises one CAKE GEMM execution.
+type Stats struct {
+	Grid         schedule.Dims  // CB block grid
+	Order        schedule.Order // resolved schedule order
+	Blocks       int            // blocks executed
+	PackedAElems int64          // elements packed from A
+	PackedBElems int64          // elements packed from B
+	UnpackCElems int64          // elements accumulated back into C
+
+	// Phase timings (Section 5.2.1: packing overhead is included in all of
+	// the paper's measurements and can dominate for skewed shapes).
+	PackNanos    int64 // packing A and B, zeroing and unpacking C
+	ComputeNanos int64 // macro-kernel execution
+}
+
+// PackShare returns the fraction of measured time spent moving data
+// (packing plus C block management) rather than computing.
+func (s Stats) PackShare() float64 {
+	total := s.PackNanos + s.ComputeNanos
+	if total == 0 {
+		return 0
+	}
+	return float64(s.PackNanos) / float64(total)
+}
+
+// Executor runs CAKE GEMMs with a fixed configuration, reusing its worker
+// pool and packing buffers across calls (the drop-in-library usage of
+// Section 5: one executor per process, many multiplications).
+type Executor[T matrix.Scalar] struct {
+	cfg     Config
+	kern    kernel.Kernel[T]
+	pool    *pool.Pool
+	ownPool bool
+	scratch []*kernel.Scratch[T]
+
+	bufA, bufB, bufC []T
+	partials         [][]T // DimK: per-core private partial-C surfaces
+
+	// Per-call operand orientation and scaling (set by GemmScaled for the
+	// duration of one multiplication; the executor is not safe for
+	// concurrent Gemm calls).
+	transA, transB bool
+	alpha          T
+}
+
+// NewExecutor validates cfg and prepares an executor. If p is nil the
+// executor creates (and owns) a pool with cfg.Cores workers; otherwise p
+// must have at least cfg.Cores workers.
+func NewExecutor[T matrix.Scalar](cfg Config, p *pool.Pool) (*Executor[T], error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Executor[T]{cfg: cfg, kern: kernel.Best[T](cfg.MR, cfg.NR)}
+	if p == nil {
+		e.pool = pool.New(cfg.Cores)
+		e.ownPool = true
+	} else {
+		if p.Workers() < cfg.Cores {
+			return nil, fmt.Errorf("core: pool has %d workers, config needs %d", p.Workers(), cfg.Cores)
+		}
+		e.pool = p
+	}
+	e.scratch = make([]*kernel.Scratch[T], e.pool.Workers())
+	for i := range e.scratch {
+		e.scratch[i] = kernel.NewScratch[T](cfg.MR, cfg.NR)
+	}
+	return e, nil
+}
+
+// Close releases the executor's pool if it owns one.
+func (e *Executor[T]) Close() {
+	if e.ownPool {
+		e.pool.Close()
+		e.ownPool = false
+	}
+}
+
+// Config returns the executor's configuration.
+func (e *Executor[T]) Config() Config { return e.cfg }
+
+// Gemm computes C += A×B using CB blocks and the K-first schedule.
+func (e *Executor[T]) Gemm(c, a, b *matrix.Matrix[T]) (Stats, error) {
+	return e.GemmT(c, a, b, false, false)
+}
+
+// GemmT computes C += op(A)×op(B) where op transposes its operand when the
+// corresponding flag is set: A is stored K×M when transA, B is stored N×K
+// when transB. Transposition happens during packing (the packed panel
+// layout is storage-order oblivious), so there is no extra copy.
+func (e *Executor[T]) GemmT(c, a, b *matrix.Matrix[T], transA, transB bool) (Stats, error) {
+	return e.GemmScaled(c, a, b, transA, transB, 1, 1)
+}
+
+// GemmScaled computes the full BLAS gemm update C = α·op(A)×op(B) + β·C.
+// β scales C once up front (β = 0 clears it without reading); α is folded
+// into the packed A panels, so the hot loops are untouched when α = 1.
+func (e *Executor[T]) GemmScaled(c, a, b *matrix.Matrix[T], transA, transB bool, alpha, beta T) (Stats, error) {
+	m, k := a.Rows, a.Cols
+	if transA {
+		m, k = k, m
+	}
+	kb, n := b.Rows, b.Cols
+	if transB {
+		kb, n = n, kb
+	}
+	if k != kb || c.Rows != m || c.Cols != n {
+		return Stats{}, fmt.Errorf("core: invalid GEMM dims C[%dx%d] = op(A)[%dx%d] x op(B)[%dx%d]",
+			c.Rows, c.Cols, m, k, kb, n)
+	}
+	e.transA, e.transB, e.alpha = transA, transB, alpha
+
+	if beta != 1 {
+		chunks := min(e.cfg.Cores, max(1, m))
+		e.pool.ForStatic(chunks, func(_, s int) {
+			r0, rows := chunkSpan(s, chunks, m)
+			cv := c.View(r0, 0, rows, n)
+			if beta == 0 {
+				cv.Zero()
+			} else {
+				cv.Scale(beta)
+			}
+		})
+	}
+	if alpha == 0 {
+		return Stats{}, nil
+	}
+
+	order := e.cfg.Order
+	if order == OrderAuto {
+		order = schedule.OrderFor(m, n)
+	}
+	grid := e.cfg.GridFor(m, k, n)
+	seq := schedule.KFirst(grid, order)
+	e.grow(m, k, n)
+
+	st := Stats{Grid: grid, Order: order, Blocks: len(seq)}
+	bm, bk, bn := e.cfg.BlockDims()
+	for i, cur := range seq {
+		m0, mEff := span(cur.M, bm, m)
+		k0, kEff := span(cur.K, bk, k)
+		n0, nEff := span(cur.N, bn, n)
+		runStart := i == 0 || seq[i-1].M != cur.M || seq[i-1].N != cur.N
+		runEnd := i == len(seq)-1 || seq[i+1].M != cur.M || seq[i+1].N != cur.N
+
+		cBlock := matrix.FromSlice(mEff, nEff, e.bufC[:mEff*nEff])
+		if runStart {
+			t0 := time.Now()
+			e.zeroBlock(cBlock)
+			st.PackNanos += time.Since(t0).Nanoseconds()
+		}
+		switch e.cfg.Dim {
+		case DimN:
+			e.blockDimN(a, b, cBlock, &st, m0, mEff, k0, kEff, n0, nEff)
+		case DimM:
+			e.blockDimM(a, b, cBlock, &st, m0, mEff, k0, kEff, n0, nEff)
+		default:
+			e.blockDimK(a, b, cBlock, &st, m0, mEff, k0, kEff, n0, nEff)
+		}
+		st.PackedAElems += int64(mEff) * int64(kEff)
+		st.PackedBElems += int64(kEff) * int64(nEff)
+		if runEnd {
+			t0 := time.Now()
+			e.unpack(c.View(m0, n0, mEff, nEff), cBlock)
+			st.PackNanos += time.Since(t0).Nanoseconds()
+			st.UnpackCElems += int64(mEff) * int64(nEff)
+		}
+	}
+	return st, nil
+}
+
+// span returns the offset and clipped extent of block index idx.
+func span(idx, blockDim, total int) (off, eff int) {
+	off = idx * blockDim
+	eff = blockDim
+	if off+eff > total {
+		eff = total - off
+	}
+	return
+}
+
+// grow (re)allocates packing buffers for the worst-case block of an M×K×N
+// problem. Capacities are kept across calls; only growth reallocates.
+func (e *Executor[T]) grow(m, k, n int) {
+	bm, bk, bn := e.cfg.BlockDims()
+	bm, bk, bn = min(bm, roundUpMultiple(m, e.cfg.MR)), min(bk, k), min(bn, roundUpMultiple(n, e.cfg.NR))
+	var needA, needB int
+	if e.cfg.Dim == DimK {
+		// DimK packs per-core slices at fixed offsets of one full kc-deep
+		// slice each, so capacity is strips × full-slice size even when the
+		// final slice is shallower.
+		strips := ceilDiv(bk, e.cfg.KC)
+		needA = strips * packing.PackedASize(bm, e.cfg.KC, e.cfg.MR)
+		needB = strips * packing.PackedBSize(e.cfg.KC, bn, e.cfg.NR)
+	} else {
+		needA = packing.PackedASize(bm, bk, e.cfg.MR)
+		needB = packing.PackedBSize(bk, bn, e.cfg.NR)
+	}
+	needC := bm * bn
+	if cap(e.bufA) < needA {
+		e.bufA = make([]T, needA)
+	}
+	if cap(e.bufB) < needB {
+		e.bufB = make([]T, needB)
+	}
+	if cap(e.bufC) < needC {
+		e.bufC = make([]T, needC)
+	}
+	e.bufA, e.bufB, e.bufC = e.bufA[:cap(e.bufA)], e.bufB[:cap(e.bufB)], e.bufC[:cap(e.bufC)]
+	if e.cfg.Dim == DimK {
+		if len(e.partials) != e.cfg.Cores {
+			e.partials = make([][]T, e.cfg.Cores)
+		}
+		for i := range e.partials {
+			if cap(e.partials[i]) < needC {
+				e.partials[i] = make([]T, needC)
+			}
+			e.partials[i] = e.partials[i][:cap(e.partials[i])]
+		}
+	}
+}
+
+// packASlice packs rows [m0, m0+rows) × depth [k0, k0+depth) of the logical
+// A into dst, honouring the per-call transpose flag.
+func (e *Executor[T]) packASlice(dst []T, a *matrix.Matrix[T], m0, rows, k0, depth int) []T {
+	var packed []T
+	if e.transA {
+		packed = packing.PackAT(dst, a.View(k0, m0, depth, rows), e.cfg.MR)
+	} else {
+		packed = packing.PackA(dst, a.View(m0, k0, rows, depth), e.cfg.MR)
+	}
+	if e.alpha != 1 {
+		for i := range packed {
+			packed[i] *= e.alpha
+		}
+	}
+	return packed
+}
+
+// packBSlice packs depth [k0, k0+depth) × cols [n0, n0+cols) of the logical
+// B into dst, honouring the per-call transpose flag.
+func (e *Executor[T]) packBSlice(dst []T, b *matrix.Matrix[T], k0, depth, n0, cols int) []T {
+	if e.transB {
+		return packing.PackBT(dst, b.View(n0, k0, cols, depth), e.cfg.NR)
+	}
+	return packing.PackB(dst, b.View(k0, n0, depth, cols), e.cfg.NR)
+}
+
+// zeroBlock clears the resident partial-C buffer at the start of a K run,
+// split across cores by row chunks.
+func (e *Executor[T]) zeroBlock(cBlock *matrix.Matrix[T]) {
+	chunks := e.rowChunks(cBlock.Rows)
+	e.pool.ForStatic(chunks, func(_, s int) {
+		r0, rows := chunkSpan(s, chunks, cBlock.Rows)
+		cBlock.View(r0, 0, rows, cBlock.Cols).Zero()
+	})
+}
+
+// unpack folds the completed block result into the output matrix.
+func (e *Executor[T]) unpack(dst, cBlock *matrix.Matrix[T]) {
+	chunks := e.rowChunks(cBlock.Rows)
+	e.pool.ForStatic(chunks, func(_, s int) {
+		r0, rows := chunkSpan(s, chunks, cBlock.Rows)
+		packing.AddInto(dst.View(r0, 0, rows, dst.Cols), cBlock.View(r0, 0, rows, cBlock.Cols))
+	})
+}
+
+func (e *Executor[T]) rowChunks(rows int) int {
+	return min(e.cfg.Cores, max(1, rows))
+}
+
+// chunkSpan splits rows into nearly equal contiguous chunks.
+func chunkSpan(idx, chunks, rows int) (off, cnt int) {
+	base, rem := rows/chunks, rows%chunks
+	off = idx*base + min(idx, rem)
+	cnt = base
+	if idx < rem {
+		cnt++
+	}
+	return
+}
+
+// blockDimN executes one CB block with cores advancing along N (Figure 6):
+// core s owns the A strip of rows [s·mc, (s+1)·mc), the packed B panel is
+// shared, and each core computes its strip of the resident C block.
+func (e *Executor[T]) blockDimN(a, b, cBlock *matrix.Matrix[T], st *Stats, m0, mEff, k0, kEff, n0, nEff int) {
+	mc := e.cfg.MC
+	strips := ceilDiv(mEff, mc)
+
+	// Pack per-core A sub-blocks in parallel; strip s's panels start at
+	// s·mc·kEff because mc is a multiple of mr.
+	t0 := time.Now()
+	e.pool.ForStatic(strips, func(_, s int) {
+		r0 := s * mc
+		rows := min(mc, mEff-r0)
+		e.packASlice(e.bufA[r0*kEff:], a, m0+r0, rows, k0, kEff)
+	})
+	e.packBShared(b, k0, kEff, n0, nEff)
+	st.PackNanos += time.Since(t0).Nanoseconds()
+
+	t0 = time.Now()
+	bp := e.bufB[:packing.PackedBSize(kEff, nEff, e.cfg.NR)]
+	e.pool.ForStatic(strips, func(core, s int) {
+		r0 := s * mc
+		rows := min(mc, mEff-r0)
+		ap := e.bufA[r0*kEff : r0*kEff+packing.PackedASize(rows, kEff, e.cfg.MR)]
+		packing.Macro(e.kern, kEff, ap, bp, cBlock.View(r0, 0, rows, nEff), e.scratch[core])
+	})
+	st.ComputeNanos += time.Since(t0).Nanoseconds()
+}
+
+// blockDimM is the mirror: core s owns the B strip of columns
+// [s·mc, (s+1)·mc), the packed A panel is shared, and each core computes
+// its column strip of the resident C block.
+func (e *Executor[T]) blockDimM(a, b, cBlock *matrix.Matrix[T], st *Stats, m0, mEff, k0, kEff, n0, nEff int) {
+	nc := e.cfg.MC // square per-core block: nc = mc
+	strips := ceilDiv(nEff, nc)
+
+	t0 := time.Now()
+	e.packAShared(a, m0, mEff, k0, kEff)
+	e.pool.ForStatic(strips, func(_, s int) {
+		c0 := s * nc
+		cols := min(nc, nEff-c0)
+		e.packBSlice(e.bufB[c0*kEff:], b, k0, kEff, n0+c0, cols)
+	})
+	st.PackNanos += time.Since(t0).Nanoseconds()
+
+	t0 = time.Now()
+	ap := e.bufA[:packing.PackedASize(mEff, kEff, e.cfg.MR)]
+	e.pool.ForStatic(strips, func(core, s int) {
+		c0 := s * nc
+		cols := min(nc, nEff-c0)
+		bp := e.bufB[c0*kEff : c0*kEff+packing.PackedBSize(kEff, cols, e.cfg.NR)]
+		packing.Macro(e.kern, kEff, ap, bp, cBlock.View(0, c0, mEff, cols), e.scratch[core])
+	})
+	st.ComputeNanos += time.Since(t0).Nanoseconds()
+}
+
+// blockDimK partitions the block's reduction depth: core s multiplies the
+// kc-deep slice [s·kc, (s+1)·kc) into a private partial-C surface; the
+// partials are then summed into the resident block in parallel row chunks —
+// the in-place local accumulation the paper highlights for the K variant.
+func (e *Executor[T]) blockDimK(a, b, cBlock *matrix.Matrix[T], st *Stats, m0, mEff, k0, kEff, n0, nEff int) {
+	kc := e.cfg.KC
+	strips := ceilDiv(kEff, kc)
+	aSlice := packing.PackedASize(mEff, kc, e.cfg.MR)
+	bSlice := packing.PackedBSize(kc, nEff, e.cfg.NR)
+
+	t0 := time.Now()
+	e.pool.ForStatic(strips, func(core, s int) {
+		kk0 := s * kc
+		depth := min(kc, kEff-kk0)
+		ap := e.packASlice(e.bufA[s*aSlice:], a, m0, mEff, k0+kk0, depth)
+		bp := e.packBSlice(e.bufB[s*bSlice:], b, k0+kk0, depth, n0, nEff)
+		part := matrix.FromSlice(mEff, nEff, e.partials[core][:mEff*nEff])
+		part.Zero()
+		packing.Macro(e.kern, depth, ap, bp, part, e.scratch[core])
+	})
+	st.ComputeNanos += time.Since(t0).Nanoseconds()
+
+	// Reduce private partials into the resident C block. ForStatic maps
+	// strip s to core s (strips <= cores), so partials[s] holds slice s.
+	t0 = time.Now()
+	chunks := e.rowChunks(mEff)
+	e.pool.ForStatic(chunks, func(_, ch int) {
+		r0, rows := chunkSpan(ch, chunks, mEff)
+		for s := 0; s < strips; s++ {
+			src := matrix.FromSlice(mEff, nEff, e.partials[s][:mEff*nEff])
+			packing.AddInto(cBlock.View(r0, 0, rows, nEff), src.View(r0, 0, rows, nEff))
+		}
+	})
+	st.PackNanos += time.Since(t0).Nanoseconds()
+}
+
+// packBShared packs the block's kEff×nEff B panel, splitting the nr-column
+// panels across cores.
+func (e *Executor[T]) packBShared(b *matrix.Matrix[T], k0, kEff, n0, nEff int) {
+	nr := e.cfg.NR
+	panels := ceilDiv(nEff, nr)
+	chunks := min(e.cfg.Cores, panels)
+	perChunk := ceilDiv(panels, chunks)
+	e.pool.ForStatic(chunks, func(_, ch int) {
+		p0 := ch * perChunk
+		pn := min(perChunk, panels-p0)
+		if pn <= 0 {
+			return
+		}
+		c0 := p0 * nr
+		cols := min(pn*nr, nEff-c0)
+		e.packBSlice(e.bufB[c0*kEff:], b, k0, kEff, n0+c0, cols)
+	})
+}
+
+// packAShared packs the block's mEff×kEff A panel, splitting the mr-row
+// panels across cores.
+func (e *Executor[T]) packAShared(a *matrix.Matrix[T], m0, mEff, k0, kEff int) {
+	mr := e.cfg.MR
+	panels := ceilDiv(mEff, mr)
+	chunks := min(e.cfg.Cores, panels)
+	perChunk := ceilDiv(panels, chunks)
+	e.pool.ForStatic(chunks, func(_, ch int) {
+		p0 := ch * perChunk
+		pn := min(perChunk, panels-p0)
+		if pn <= 0 {
+			return
+		}
+		r0 := p0 * mr
+		rows := min(pn*mr, mEff-r0)
+		e.packASlice(e.bufA[r0*kEff:], a, m0+r0, rows, k0, kEff)
+	})
+}
+
+// Gemm is the convenience one-shot entry point: plan-free execution of
+// C += A×B with an explicit configuration.
+func Gemm[T matrix.Scalar](c, a, b *matrix.Matrix[T], cfg Config) (Stats, error) {
+	return GemmT(c, a, b, cfg, false, false)
+}
+
+// GemmT is the one-shot entry point for C += op(A)×op(B).
+func GemmT[T matrix.Scalar](c, a, b *matrix.Matrix[T], cfg Config, transA, transB bool) (Stats, error) {
+	e, err := NewExecutor[T](cfg, nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	defer e.Close()
+	return e.GemmT(c, a, b, transA, transB)
+}

@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func TestTable2(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 4 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	// Table 2: Intel 40 GB/s; ARM lists its shared 512 KiB L2 and N/A for
+	// L3; AMD has 16 cores.
+	if rows[1][6] != "40 GB/s" || rows[3][2] != "512 KiB" || rows[3][3] != "N/A" || rows[2][5] != "16" {
+		t.Fatalf("table content: %v", rows)
+	}
+}
+
+func TestFig4ConstantBW(t *testing.T) {
+	r := Fig4()
+	bw, ct, ai := r.Series[0], r.Series[1], r.Series[2]
+	for i := 1; i < len(bw.Y); i++ {
+		if d := bw.Y[i] - bw.Y[0]; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("external BW not constant: %v", bw.Y)
+		}
+		if ct.Y[i] <= ct.Y[i-1] || ai.Y[i] <= ai.Y[i-1] {
+			t.Fatal("throughput and AI must increase with p")
+		}
+	}
+}
+
+func TestFig7aShape(t *testing.T) {
+	// Scaled-down Figure 7a (the paper's 10000² at full size runs in the
+	// bench harness): CAKE must stall less on main memory and more on the
+	// LLC than the MKL proxy.
+	b, err := Fig7a(platform.IntelI9(), 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cake, mkl := b.Values[0], b.Values[1]
+	if len(cake) != 4 || len(mkl) != 4 {
+		t.Fatal("level count")
+	}
+	if cake[3] >= mkl[3] {
+		t.Fatalf("CAKE main-memory stalls (%v) must be below MKL's (%v)", cake[3], mkl[3])
+	}
+	if cake[2] <= mkl[2] {
+		t.Fatalf("CAKE LLC stalls (%v) must exceed MKL's (%v) — resident partial C", cake[2], mkl[2])
+	}
+	var buf bytes.Buffer
+	b.Render(&buf)
+	if !strings.Contains(buf.String(), "Main Memory") {
+		t.Fatal("render missing categories")
+	}
+}
+
+func TestFig7bShape(t *testing.T) {
+	b, err := Fig7b(platform.ARMCortexA53(), 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cake, armpl := b.Values[0], b.Values[1]
+	// The paper: ARMPL performs ≈2.5× more DRAM requests than CAKE.
+	if armpl[2] < 1.8*cake[2] {
+		t.Fatalf("ARMPL DRAM requests %v not well above CAKE %v", armpl[2], cake[2])
+	}
+	// CAKE shifts demand to internal memory: more LLC hits.
+	if cake[1] <= armpl[1] {
+		t.Fatalf("CAKE L2 hits %v must exceed ARMPL %v", cake[1], armpl[1])
+	}
+	for gi := range b.Values {
+		for ci, v := range b.Values[gi] {
+			if v < 0 {
+				t.Fatalf("negative count at group %d cat %d: %v", gi, ci, v)
+			}
+		}
+	}
+}
+
+func TestFig8SmallGrid(t *testing.T) {
+	grids, err := Fig8(platform.IntelI9(), 2000, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grids) != 4 {
+		t.Fatalf("panels %d", len(grids))
+	}
+	for _, g := range grids {
+		if len(g.Z) != 2 || len(g.Z[0]) != 2 {
+			t.Fatalf("%s grid shape", g.ID)
+		}
+		for _, row := range g.Z {
+			for _, v := range row {
+				if v <= 0 {
+					t.Fatalf("%s: non-positive ratio %v", g.ID, v)
+				}
+			}
+		}
+		if c := g.Coverage(0.01); c != 1 {
+			t.Fatalf("coverage at tiny threshold should be 1, got %v", c)
+		}
+		var buf bytes.Buffer
+		g.Render(&buf)
+		g.CSV(&buf)
+		if !strings.Contains(buf.String(), g.ID) {
+			t.Fatal("render missing id")
+		}
+	}
+}
+
+func TestFig8SkewedFavoursCake(t *testing.T) {
+	// The paper's core Figure 8 finding: CAKE's advantage grows as matrices
+	// shrink or skew (memory-bound regime). The most skewed panel (M=8N)
+	// at the smallest size must show a higher ratio than the biggest
+	// square case.
+	grids, err := Fig8(platform.IntelI9(), 4000, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	square := grids[0]
+	skewed := grids[3]
+	bigSquare := square.Z[len(square.Z)-1][len(square.Xs)-1]
+	smallSkewed := skewed.Z[0][0]
+	if smallSkewed <= bigSquare {
+		t.Fatalf("small skewed ratio %v should exceed big square ratio %v", smallSkewed, bigSquare)
+	}
+}
+
+func TestFig9ARM(t *testing.T) {
+	pl := platform.ARMCortexA53()
+	r, err := Fig9(pl, []int{1000, 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 4 {
+		t.Fatalf("series %d", len(r.Series))
+	}
+	// Per size: baseline series then cake series. CAKE's 4-core speedup
+	// must beat the ARMPL proxy's (Fig. 9b).
+	for i := 0; i < len(r.Series); i += 2 {
+		base, cake := r.Series[i], r.Series[i+1]
+		if cake.Y[len(cake.Y)-1] <= base.Y[len(base.Y)-1] {
+			t.Fatalf("CAKE speedup %v not above baseline %v", cake.Y, base.Y)
+		}
+		if cake.Y[0] != 1 || base.Y[0] != 1 {
+			t.Fatal("speedup must be normalised to 1 at p=1")
+		}
+	}
+}
+
+func TestFigTrioARM(t *testing.T) {
+	pl := platform.ARMCortexA53()
+	bw, tp, internal, err := FigTrio(pl, "fig11", TrioSizes{Size: 1024, ExtrapTo: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (a) CAKE observed BW must stay below the baseline's at full cores and
+	// stay near-flat; baseline BW must grow.
+	gotoBW, cakeBW := bw.Series[0], bw.Series[1]
+	if cakeBW.Y[3] >= gotoBW.Y[3] {
+		t.Fatalf("CAKE BW %v above baseline %v at 4 cores", cakeBW.Y[3], gotoBW.Y[3])
+	}
+	if gotoBW.Y[3] < 1.5*gotoBW.Y[0] {
+		t.Fatalf("baseline BW did not grow: %v", gotoBW.Y)
+	}
+	// (b) extrapolated series reach 8 cores; observed stop at 4.
+	for _, s := range tp.Series {
+		if strings.Contains(s.Name, "extrapolated") {
+			if len(s.Y) != 8 {
+				t.Fatalf("extrapolation length %d", len(s.Y))
+			}
+		} else if len(s.Y) != 4 {
+			t.Fatalf("observed length %d", len(s.Y))
+		}
+	}
+	// CAKE observed throughput ≥ baseline at every core count (Fig. 11b).
+	gotoObs, cakeObs := tp.Series[2], tp.Series[3]
+	for i := range cakeObs.Y {
+		if cakeObs.Y[i] < gotoObs.Y[i] {
+			t.Fatalf("CAKE %v below baseline %v at p=%d", cakeObs.Y[i], gotoObs.Y[i], i+1)
+		}
+	}
+	// (c) internal BW model flattens past 2 cores.
+	obs := internal.Series[0]
+	if obs.Y[3]-obs.Y[1] > 0.2*obs.Y[1] {
+		t.Fatalf("ARM internal BW should flatten: %v", obs.Y)
+	}
+	var buf bytes.Buffer
+	bw.Render(&buf)
+	tp.CSV(&buf)
+	internal.Render(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("render empty")
+	}
+}
+
+func TestFigTrioIntelConstantBW(t *testing.T) {
+	pl := platform.IntelI9()
+	// 3520 = 2×(10·176): both CAKE's CB block and GOTO's ic rounds tile the
+	// M dimension exactly, so the comparison isolates the algorithms from
+	// edge-utilisation effects (real MKL shape-tunes those away; at the
+	// paper's 23040 both sides are ≥94% aligned).
+	bw, tp, _, err := FigTrio(pl, "fig10", TrioSizes{Size: 3520, ExtrapTo: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cakeBW := bw.Series[1]
+	if cakeBW.Y[9] > 2*cakeBW.Y[1] {
+		t.Fatalf("CAKE DRAM BW grew with cores: %v", cakeBW.Y)
+	}
+	// CAKE within a reasonable band of MKL's throughput at 10 cores
+	// (paper: within 3%; the proxy models justify a looser check).
+	gotoObs, cakeObs := tp.Series[2], tp.Series[3]
+	ratio := cakeObs.Y[9] / gotoObs.Y[9]
+	if ratio < 0.85 || ratio > 1.3 {
+		t.Fatalf("CAKE/MKL throughput ratio %v at 10 cores outside band", ratio)
+	}
+}
+
+func TestBaselineNames(t *testing.T) {
+	if BaselineName(platform.IntelI9()) != "MKL (GOTO proxy)" ||
+		BaselineName(platform.AMDRyzen9()) != "OpenBLAS (GOTO proxy)" ||
+		BaselineName(platform.ARMCortexA53()) != "ARMPL (GOTO proxy)" {
+		t.Fatal("baseline names")
+	}
+	if shortBaseline(platform.IntelI9()) != "mkl" {
+		t.Fatal("short name")
+	}
+}
+
+func TestResultRenderAndCSV(t *testing.T) {
+	r := &Result{
+		ID: "t", Title: "test", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+			{Name: "b", X: []float64{1, 2, 3}, Y: []float64{1, 2, 3}},
+		},
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "test") || !strings.Contains(out, "20") {
+		t.Fatalf("render: %q", out)
+	}
+	buf.Reset()
+	r.CSV(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 || lines[0] != "x,a,b" {
+		t.Fatalf("csv: %q", buf.String())
+	}
+	// Ragged series render "-"/empty past their end.
+	if !strings.Contains(lines[3], ",,3") && !strings.Contains(lines[3], ",3") {
+		t.Fatalf("ragged csv row: %q", lines[3])
+	}
+}
+
+func TestPaperTrioSizes(t *testing.T) {
+	if s := PaperTrioSizes(platform.ARMCortexA53()); s.Size != 3000 || s.ExtrapTo != 8 {
+		t.Fatalf("ARM sizes %+v", s)
+	}
+	if s := PaperTrioSizes(platform.IntelI9()); s.Size != 23040 || s.ExtrapTo != 20 {
+		t.Fatalf("Intel sizes %+v", s)
+	}
+}
+
+func TestPackingOverheadSkewedShapes(t *testing.T) {
+	rows, err := PackingOverhead(1, DefaultPackShapes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	square := rows[0]
+	if square.PackShare <= 0 || square.PackShare >= 0.5 {
+		t.Fatalf("square pack share %v implausible", square.PackShare)
+	}
+	// Section 5.2.1: skewed shapes pay a substantially larger packing
+	// fraction than the square case. Thin-K is the strong, timing-robust
+	// case (the whole reduction fits one kc, so packing amortises over the
+	// least compute); the others are asserted loosely because their margin
+	// over square is small and wall-clock timing is noisy in CI.
+	thinK := rows[1]
+	if thinK.PackShare <= 1.5*square.PackShare {
+		t.Fatalf("thin-K pack share %v not clearly above square %v",
+			thinK.PackShare, square.PackShare)
+	}
+	for _, skewed := range rows[2:] {
+		if skewed.PackShare < 0.5*square.PackShare {
+			t.Fatalf("%s pack share %v implausibly below square %v",
+				skewed.Name, skewed.PackShare, square.PackShare)
+		}
+	}
+}
+
+func TestFigTrioAMDShape(t *testing.T) {
+	pl := platform.AMDRyzen9()
+	// 3584 = 16·224: one full CB block row at 16 cores, so the
+	// constant-bandwidth property is visible without edge effects (the
+	// full 23040³ run in results/ shows the same shape).
+	bw, tp, internal, err := FigTrio(pl, "fig12", TrioSizes{Size: 3584, ExtrapTo: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (a) OpenBLAS proxy BW grows with cores; CAKE's stays bounded.
+	gotoBW, cakeBW := bw.Series[0], bw.Series[1]
+	if gotoBW.Y[15] < 3*gotoBW.Y[0] {
+		t.Fatalf("OpenBLAS BW did not grow: %v", gotoBW.Y)
+	}
+	if cakeBW.Y[15] > 3*cakeBW.Y[0] {
+		t.Fatalf("CAKE BW grew with cores: %v", cakeBW.Y)
+	}
+	// (b) Both scale well on the least-constrained machine; extrapolations
+	// reach 32 entries.
+	for _, s := range tp.Series[:2] {
+		if len(s.Y) != 32 {
+			t.Fatalf("extrapolation length %d", len(s.Y))
+		}
+	}
+	// (c) internal BW ~linear at 50 GB/s per core.
+	obs := internal.Series[0]
+	if d := obs.Y[15] - obs.Y[14]; d < 45 || d > 55 {
+		t.Fatalf("AMD internal slope %v", d)
+	}
+}

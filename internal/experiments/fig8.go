@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/platform"
+)
+
+// Grid is one Figure 8 panel: CAKE-vs-baseline throughput ratio over a grid
+// of matrix dimensions at a fixed M:N aspect ratio.
+type Grid struct {
+	ID     string
+	Title  string
+	XLabel string // e.g. "M = 2N"
+	YLabel string // "K"
+	Xs, Ys []int
+	Z      [][]float64 // Z[yi][xi] = CAKE/baseline throughput ratio
+}
+
+// Render writes the ratio grid and the contour coverage summary (the
+// shaded-region fractions of the paper's plot).
+func (g *Grid) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", g.ID, g.Title)
+	header := []string{g.YLabel + `\` + g.XLabel}
+	for _, x := range g.Xs {
+		header = append(header, fmt.Sprintf("%d", x))
+	}
+	rows := [][]string{header}
+	for yi, y := range g.Ys {
+		row := []string{fmt.Sprintf("%d", y)}
+		for xi := range g.Xs {
+			row = append(row, fmt.Sprintf("%.2f", g.Z[yi][xi]))
+		}
+		rows = append(rows, row)
+	}
+	writeAligned(w, rows)
+	for _, th := range []float64{1.0, 1.25, 1.5, 2.0} {
+		fmt.Fprintf(w, "    ratio >= %.2fx over %.0f%% of the grid\n", th, 100*g.Coverage(th))
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV writes the grid with K rows and dimension columns.
+func (g *Grid) CSV(w io.Writer) {
+	cols := []string{g.YLabel}
+	for _, x := range g.Xs {
+		cols = append(cols, fmt.Sprintf("%d", x))
+	}
+	fmt.Fprintln(w, strings.Join(cols, ","))
+	for yi, y := range g.Ys {
+		row := []string{fmt.Sprintf("%d", y)}
+		for xi := range g.Xs {
+			row = append(row, fmt.Sprintf("%.4f", g.Z[yi][xi]))
+		}
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+// Coverage returns the fraction of grid cells with ratio ≥ threshold.
+func (g *Grid) Coverage(threshold float64) float64 {
+	total, over := 0, 0
+	for _, row := range g.Z {
+		for _, v := range row {
+			total++
+			if v >= threshold {
+				over++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(over) / float64(total)
+}
+
+// Fig8 reproduces the relative-throughput contours: for each M:N aspect
+// ratio the paper plots (1, 2, 4, 8), sweep M and K over [step, maxDim] and
+// record CAKE/baseline simulated throughput on all cores of pl.
+func Fig8(pl *platform.Platform, maxDim, step int) ([]*Grid, error) {
+	var grids []*Grid
+	for gi, ratio := range []int{1, 2, 4, 8} {
+		xlabel := "M = N"
+		if ratio > 1 {
+			xlabel = fmt.Sprintf("M = %dN", ratio)
+		}
+		g := &Grid{
+			ID:     fmt.Sprintf("fig8%c", 'a'+gi),
+			Title:  fmt.Sprintf("CAKE vs %s relative throughput on %s (%s)", BaselineName(pl), pl.Name, xlabel),
+			XLabel: xlabel,
+			YLabel: "K",
+		}
+		for d := step; d <= maxDim; d += step {
+			g.Xs = append(g.Xs, d)
+		}
+		for kd := step; kd <= maxDim; kd += step {
+			g.Ys = append(g.Ys, kd)
+		}
+		for _, kd := range g.Ys {
+			row := make([]float64, 0, len(g.Xs))
+			for _, d := range g.Xs {
+				m := d
+				n := max(1, d/ratio)
+				cm, _, err := SimCake(pl, pl.Cores, m, kd, n)
+				if err != nil {
+					return nil, err
+				}
+				gm, _, err := SimGoto(pl, pl.Cores, m, kd, n)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, cm.ThroughputGFLOPS(pl.ClockHz)/gm.ThroughputGFLOPS(pl.ClockHz))
+			}
+			g.Z = append(g.Z, row)
+		}
+		grids = append(grids, g)
+	}
+	return grids, nil
+}

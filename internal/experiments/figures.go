@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cbtheory"
+	"repro/internal/platform"
+)
+
+// Table2 renders the evaluated-platform table (paper Table 2) from the
+// platform models.
+func Table2() [][]string {
+	rows := [][]string{{"CPU", "L1", "L2", "LLC", "DRAM", "Cores", "DRAM Bandwidth"}}
+	for _, pl := range platform.All() {
+		l2 := "N/A"
+		if pl.L2Bytes > 0 {
+			l2 = fmt.Sprintf("%d KiB", pl.L2Bytes>>10)
+		}
+		llc := fmt.Sprintf("%d MiB", pl.LLCBytes>>20)
+		if pl.LLCBytes < 1<<20 {
+			llc = fmt.Sprintf("%d KiB", pl.LLCBytes>>10)
+		}
+		if !pl.HasL3 {
+			// The A53 has no L3; Table 2 lists its shared L2 in the L2
+			// column and N/A for L3-like storage beyond it.
+			l2, llc = llc, "N/A"
+		}
+		rows = append(rows, []string{
+			pl.Name,
+			fmt.Sprintf("%d KiB", pl.L1Bytes>>10),
+			l2,
+			llc,
+			fmt.Sprintf("%d GB", pl.DRAMBytes>>30),
+			fmt.Sprintf("%d", pl.Cores),
+			fmt.Sprintf("%.0f GB/s", pl.DRAMBW/1e9),
+		})
+	}
+	return rows
+}
+
+// Fig4 demonstrates the constant-bandwidth property: CB blocks scaled for
+// p = 1, 2, 4, ... cores (Figure 4's (a), (b), (c) and beyond) keep the
+// same external bandwidth while arithmetic intensity and computation
+// throughput grow.
+func Fig4() *Result {
+	const k = 16 // tile-unit block depth
+	r := &Result{
+		ID:     "fig4",
+		Title:  "CB blocks: constant bandwidth as compute scales",
+		XLabel: "p (core-count scale factor)",
+		YLabel: "tiles/unit-time (BW, CT) and MACs/element (AI)",
+	}
+	bw := Series{Name: "external BW"}
+	ct := Series{Name: "compute throughput"}
+	ai := Series{Name: "arithmetic intensity"}
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		s := cbtheory.Shape{P: p, MC: k, KC: k, Alpha: 1}
+		t := float64(s.NDim()) // N-dimension compute: T = αpk unit times
+		x := float64(p)
+		bw.X = append(bw.X, x)
+		bw.Y = append(bw.Y, s.ExternalIOElems()/t)
+		ct.X = append(ct.X, x)
+		ct.Y = append(ct.Y, float64(s.MDim())*float64(s.KDim())*float64(s.NDim())/t)
+		ai.X = append(ai.X, x)
+		ai.Y = append(ai.Y, s.AI())
+	}
+	r.Series = []Series{bw, ct, ai}
+	return r
+}
+
+// Fig9 computes the speedup curves of Figure 9: throughput speedup t_p/t_1
+// for square matrices, CAKE vs the platform's vendor-library proxy.
+func Fig9(pl *platform.Platform, sizes []int) (*Result, error) {
+	r := &Result{
+		ID:     "fig9",
+		Title:  fmt.Sprintf("Speedup for square matrices, CAKE vs %s on %s", BaselineName(pl), pl.Name),
+		XLabel: "cores",
+		YLabel: "speedup (t_p / t_1)",
+	}
+	for _, size := range sizes {
+		cake := Series{Name: fmt.Sprintf("%d (cake)", size)}
+		base := Series{Name: fmt.Sprintf("%d (%s)", size, shortBaseline(pl))}
+		var cake1, base1 float64
+		for p := 1; p <= pl.Cores; p++ {
+			cm, _, err := SimCake(pl, p, size, size, size)
+			if err != nil {
+				return nil, err
+			}
+			gm, _, err := SimGoto(pl, p, size, size, size)
+			if err != nil {
+				return nil, err
+			}
+			cg := cm.ThroughputGFLOPS(pl.ClockHz)
+			gg := gm.ThroughputGFLOPS(pl.ClockHz)
+			if p == 1 {
+				cake1, base1 = cg, gg
+			}
+			cake.X = append(cake.X, float64(p))
+			cake.Y = append(cake.Y, cg/cake1)
+			base.X = append(base.X, float64(p))
+			base.Y = append(base.Y, gg/base1)
+		}
+		r.Series = append(r.Series, base, cake)
+	}
+	return r, nil
+}
+
+func shortBaseline(pl *platform.Platform) string {
+	switch BaselineName(pl)[0] {
+	case 'M':
+		return "mkl"
+	case 'O':
+		return "openblas"
+	default:
+		return "armpl"
+	}
+}
+
+// TrioSizes holds the per-platform problem sizes of Figures 10–12. The
+// paper uses 23040³ on the desktops and 3000³ on the ARM; Size scales down
+// for quick runs while preserving every curve's shape.
+type TrioSizes struct {
+	Size     int // square problem dimension
+	ExtrapTo int // extrapolated core count (dotted lines)
+}
+
+// PaperTrioSizes returns the evaluation sizes the paper uses for a platform.
+func PaperTrioSizes(pl *platform.Platform) TrioSizes {
+	if pl.Cores <= 4 { // ARM A53
+		return TrioSizes{Size: 3000, ExtrapTo: 8}
+	}
+	return TrioSizes{Size: 23040, ExtrapTo: 2 * pl.Cores}
+}
+
+// FigTrio regenerates one platform's evaluation trio (Figures 10, 11, 12):
+// (a) average DRAM bandwidth vs cores with the CAKE-optimal dashed curve,
+// (b) computation throughput vs cores with last-two-point extrapolations,
+// (c) internal (LLC↔core) bandwidth vs cores with linear extrapolation.
+func FigTrio(pl *platform.Platform, id string, ts TrioSizes) (bw, tp, internal *Result, err error) {
+	s := ts.Size
+	cakeBW := Series{Name: "CAKE Observed"}
+	gotoBW := Series{Name: BaselineName(pl) + " Observed"}
+	optBW := Series{Name: "CAKE Optimal"}
+	cakeTP := Series{Name: "CAKE Observed"}
+	gotoTP := Series{Name: BaselineName(pl) + " Observed"}
+
+	rates := cbtheory.Rates{ClockHz: pl.ClockHz, FlopsPerCycle: pl.FlopsPerCycle, ElemBytes: elemBytes}
+	for p := 1; p <= pl.Cores; p++ {
+		cm, ccfg, err := SimCake(pl, p, s, s, s)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		gm, _, err := SimGoto(pl, p, s, s, s)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		x := float64(p)
+		cakeBW.X, cakeBW.Y = append(cakeBW.X, x), append(cakeBW.Y, cm.AvgDRAMBW(pl.ClockHz)/1e9)
+		gotoBW.X, gotoBW.Y = append(gotoBW.X, x), append(gotoBW.Y, gm.AvgDRAMBW(pl.ClockHz)/1e9)
+		optBW.X = append(optBW.X, x)
+		optBW.Y = append(optBW.Y, cbtheory.CakeOptimalDRAMBW(rates, ccfg.Alpha, ccfg.MR, ccfg.NR, ccfg.KC)/1e9)
+		cakeTP.X, cakeTP.Y = append(cakeTP.X, x), append(cakeTP.Y, cm.ThroughputGFLOPS(pl.ClockHz))
+		gotoTP.X, gotoTP.Y = append(gotoTP.X, x), append(gotoTP.Y, gm.ThroughputGFLOPS(pl.ClockHz))
+	}
+
+	bw = &Result{
+		ID: id + "a", Title: fmt.Sprintf("DRAM bandwidth, CAKE vs %s on %s (%d³)", BaselineName(pl), pl.Name, s),
+		XLabel: "cores", YLabel: "Avg DRAM BW (GB/s)",
+		Series: []Series{gotoBW, cakeBW, optBW},
+	}
+
+	// Extrapolations: the paper extends both libraries' throughput with the
+	// slope of the last two observed points, assuming internal bandwidth
+	// keeps scaling and DRAM bandwidth stays fixed. GOTO's line additionally
+	// caps where fixed DRAM bandwidth saturates.
+	xs := make([]float64, ts.ExtrapTo)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	cakeExt := Series{Name: "CAKE extrapolated", X: xs, Y: platform.Extrapolate(cakeTP.Y, ts.ExtrapTo)}
+	gotoExtY := platform.Extrapolate(gotoTP.Y, ts.ExtrapTo)
+	if cap := gotoDRAMCap(pl, gotoTP, gotoBW); cap > 0 {
+		for i := range gotoExtY {
+			if gotoExtY[i] > cap {
+				gotoExtY[i] = cap
+			}
+		}
+	}
+	gotoExt := Series{Name: BaselineName(pl) + " extrapolated", X: xs, Y: gotoExtY}
+	tp = &Result{
+		ID: id + "b", Title: fmt.Sprintf("Computation throughput, CAKE vs %s on %s (%d³)", BaselineName(pl), pl.Name, s),
+		XLabel: "cores", YLabel: "Throughput (GFLOP/s)",
+		Series: []Series{gotoExt, cakeExt, gotoTP, cakeTP},
+	}
+
+	intObs := Series{Name: pl.Name + " measured (pmbw model)"}
+	for p := 1; p <= pl.Cores; p++ {
+		intObs.X = append(intObs.X, float64(p))
+		intObs.Y = append(intObs.Y, pl.Internal.At(p)/1e9)
+	}
+	intExt := Series{Name: "extrapolated", X: xs, Y: platform.Extrapolate(intObs.Y, ts.ExtrapTo)}
+	internal = &Result{
+		ID: id + "c", Title: fmt.Sprintf("Internal bandwidth on %s", pl.Name),
+		XLabel: "cores", YLabel: "Bandwidth (GB/s)",
+		Series: []Series{intObs, intExt},
+	}
+	return bw, tp, internal, nil
+}
+
+// gotoDRAMCap estimates the throughput where GOTO exhausts the platform's
+// fixed DRAM bandwidth: observed GFLOP/s per GB/s of observed DRAM traffic,
+// times the available bandwidth.
+func gotoDRAMCap(pl *platform.Platform, tp, bw Series) float64 {
+	n := len(tp.Y)
+	if n == 0 || bw.Y[n-1] <= 0 {
+		return 0
+	}
+	perGB := tp.Y[n-1] / bw.Y[n-1]
+	return perGB * pl.DRAMBW / 1e9
+}

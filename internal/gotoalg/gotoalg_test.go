@@ -1,0 +1,242 @@
+package gotoalg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+	"repro/internal/platform"
+	"repro/internal/pool"
+)
+
+func smallConfig(p int) Config {
+	return Config{Cores: p, MC: 16, KC: 16, NC: 32, MR: 8, NR: 8}
+}
+
+func checkGemm[T matrix.Scalar](t *testing.T, cfg Config, m, k, n int, seed int64, tol float64) Stats {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	a := matrix.New[T](m, k)
+	b := matrix.New[T](k, n)
+	a.Randomize(rng)
+	b.Randomize(rng)
+	c := matrix.New[T](m, n)
+	c.Randomize(rng)
+	want := c.Clone()
+
+	st, err := Gemm(c, a, b, cfg)
+	if err != nil {
+		t.Fatalf("Gemm(%v, %dx%dx%d): %v", cfg, m, k, n, err)
+	}
+	matrix.NaiveGemm(want, a, b)
+	if !c.AlmostEqual(want, k, tol) {
+		t.Fatalf("cfg=%v dims=%dx%dx%d: max diff %g", cfg, m, k, n, c.MaxAbsDiff(want))
+	}
+	return st
+}
+
+func TestGemmExactBlocks(t *testing.T) {
+	checkGemm[float64](t, smallConfig(2), 64, 32, 64, 1, 1e-12)
+}
+
+func TestGemmRagged(t *testing.T) {
+	checkGemm[float64](t, smallConfig(3), 50, 23, 70, 2, 1e-12)
+	checkGemm[float64](t, smallConfig(2), 1, 1, 1, 3, 1e-12)
+	checkGemm[float64](t, smallConfig(2), 17, 33, 31, 4, 1e-12)
+}
+
+func TestGemmSkewed(t *testing.T) {
+	cfg := smallConfig(2)
+	checkGemm[float64](t, cfg, 200, 8, 16, 5, 1e-12)
+	checkGemm[float64](t, cfg, 8, 200, 16, 6, 1e-12)
+	checkGemm[float64](t, cfg, 16, 8, 200, 7, 1e-12)
+}
+
+func TestGemmFloat32(t *testing.T) {
+	checkGemm[float32](t, smallConfig(2), 60, 45, 55, 8, 2e-5)
+}
+
+func TestGemmSingleCore(t *testing.T) {
+	checkGemm[float64](t, smallConfig(1), 40, 40, 40, 9, 1e-12)
+}
+
+func TestGemmAccumulates(t *testing.T) {
+	a := matrix.New[float64](8, 8)
+	b := matrix.New[float64](8, 8)
+	a.Fill(1)
+	b.Fill(1)
+	c := matrix.New[float64](8, 8)
+	c.Fill(5)
+	if _, err := Gemm(c, a, b, smallConfig(2)); err != nil {
+		t.Fatal(err)
+	}
+	if c.At(3, 3) != 13 {
+		t.Fatalf("C += A×B broken: got %v", c.At(3, 3))
+	}
+}
+
+func TestGemmStatsPartialStreaming(t *testing.T) {
+	// The defining GOTO behaviour: C streams once per pc iteration, so its
+	// traffic is M·N·ceil(K/kc) — growing with K, unlike CAKE's single
+	// unpack per element.
+	cfg := smallConfig(2) // kc = 16
+	st := checkGemm[float64](t, cfg, 32, 64, 32, 10, 1e-12)
+	if want := int64(32 * 32 * 4); st.CStreamElems != want {
+		t.Fatalf("CStreamElems=%d want %d", st.CStreamElems, want)
+	}
+	// B packed once per (jc, pc): elements = K·N once each.
+	if want := int64(64 * 32); st.PackedBElems != want {
+		t.Fatalf("PackedBElems=%d want %d", st.PackedBElems, want)
+	}
+	// A repacked for every jc: K·M per jc, Nb=1 here.
+	if want := int64(32 * 64); st.PackedAElems != want {
+		t.Fatalf("PackedAElems=%d want %d", st.PackedAElems, want)
+	}
+	if st.Panels != 4 {
+		t.Fatalf("Panels=%d want 4", st.Panels)
+	}
+}
+
+func TestGemmQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Config{
+			Cores: 1 + rng.Intn(4),
+			MC:    8 * (1 + rng.Intn(3)),
+			KC:    1 + rng.Intn(24),
+			NC:    8 * (1 + rng.Intn(5)),
+			MR:    8, NR: 8,
+		}
+		m, k, n := 1+rng.Intn(90), 1+rng.Intn(90), 1+rng.Intn(90)
+		a := matrix.New[float64](m, k)
+		b := matrix.New[float64](k, n)
+		c := matrix.New[float64](m, n)
+		a.Randomize(rng)
+		b.Randomize(rng)
+		want := matrix.New[float64](m, n)
+		matrix.NaiveGemm(want, a, b)
+		if _, err := Gemm(c, a, b, cfg); err != nil {
+			return false
+		}
+		return c.AlmostEqual(want, k, 1e-11)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCakeAndGotoAgree(t *testing.T) {
+	// Integration: both drivers compute the same product.
+	rng := rand.New(rand.NewSource(42))
+	a := matrix.New[float64](77, 53)
+	b := matrix.New[float64](53, 91)
+	a.Randomize(rng)
+	b.Randomize(rng)
+	c1 := matrix.New[float64](77, 91)
+	c2 := matrix.New[float64](77, 91)
+	if _, err := Gemm(c1, a, b, smallConfig(3)); err != nil {
+		t.Fatal(err)
+	}
+	matrix.BlockedGemm(c2, a, b, 16)
+	if !c1.AlmostEqual(c2, 53, 1e-12) {
+		t.Fatal("GOTO disagrees with blocked reference")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := smallConfig(2).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.Cores = 0 },
+		func(c *Config) { c.MC = 4 },
+		func(c *Config) { c.MC = 20 },
+		func(c *Config) { c.KC = 0 },
+		func(c *Config) { c.NC = 4 },
+		func(c *Config) { c.MR = 0 },
+	}
+	for i, mut := range cases {
+		c := smallConfig(2)
+		mut(&c)
+		if c.Validate() == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestPlanForPlatforms(t *testing.T) {
+	for _, pl := range platform.All() {
+		cfg, err := Plan(pl, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", pl.Name, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s: %v", pl.Name, err)
+		}
+		// A block fits the private L2 (or the L1 on the A53).
+		l2 := pl.L2Bytes
+		if l2 == 0 {
+			l2 = pl.L1Bytes
+		}
+		if int64(cfg.MC*cfg.KC*4) > l2 {
+			t.Fatalf("%s: A block %d bytes exceeds L2 %d", pl.Name, cfg.MC*cfg.KC*4, l2)
+		}
+		// B panel fits the LLC.
+		if int64(cfg.KC*cfg.NC*4) > pl.LLCBytes {
+			t.Fatalf("%s: B panel exceeds LLC", pl.Name)
+		}
+		if cfg.MC != cfg.KC {
+			t.Fatalf("%s: GOTO uses square A blocks (mc=kc), got %d,%d", pl.Name, cfg.MC, cfg.KC)
+		}
+	}
+}
+
+func TestPlanRejectsBadInput(t *testing.T) {
+	if _, err := Plan(platform.IntelI9(), 0); err == nil {
+		t.Fatal("elemBytes=0 accepted")
+	}
+	bad := platform.IntelI9()
+	bad.Cores = -1
+	if _, err := Plan(bad, 4); err == nil {
+		t.Fatal("invalid platform accepted")
+	}
+}
+
+func TestPlannedGemmEndToEnd(t *testing.T) {
+	cfg, err := Plan(platform.ARMCortexA53(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGemm[float64](t, cfg, 300, 200, 250, 11, 1e-12)
+}
+
+func TestExecutorSharedPoolAndReuse(t *testing.T) {
+	p := pool.New(4)
+	defer p.Close()
+	e, err := NewExecutor[float64](smallConfig(4), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 3; trial++ {
+		m, k, n := 10+rng.Intn(50), 1+rng.Intn(50), 1+rng.Intn(50)
+		a := matrix.New[float64](m, k)
+		b := matrix.New[float64](k, n)
+		c := matrix.New[float64](m, n)
+		a.Randomize(rng)
+		b.Randomize(rng)
+		want := matrix.New[float64](m, n)
+		matrix.NaiveGemm(want, a, b)
+		if _, err := e.Gemm(c, a, b); err != nil {
+			t.Fatal(err)
+		}
+		if !c.AlmostEqual(want, k, 1e-12) {
+			t.Fatalf("trial %d wrong", trial)
+		}
+	}
+	if _, err := NewExecutor[float64](smallConfig(8), p); err == nil {
+		t.Fatal("undersized pool accepted")
+	}
+}

@@ -1,0 +1,227 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+// packPanels builds an mr×kc A panel and kc×nr B panel (k-major) from dense
+// matrices, matching the layout internal/packing produces.
+func packPanels[T matrix.Scalar](a, b *matrix.Matrix[T], mr, nr int) (ap, bp []T) {
+	kc := a.Cols
+	ap = make([]T, mr*kc)
+	bp = make([]T, kc*nr)
+	for k := 0; k < kc; k++ {
+		for i := 0; i < mr; i++ {
+			ap[k*mr+i] = a.At(i, k)
+		}
+		for j := 0; j < nr; j++ {
+			bp[k*nr+j] = b.At(k, j)
+		}
+	}
+	return
+}
+
+func checkKernelAgainstNaive[T matrix.Scalar](t *testing.T, k Kernel[T], kc int, seed int64, tol float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	a := matrix.New[T](k.MR, kc)
+	b := matrix.New[T](kc, k.NR)
+	a.Randomize(rng)
+	b.Randomize(rng)
+	ap, bp := packPanels(a, b, k.MR, k.NR)
+
+	got := matrix.New[T](k.MR, k.NR)
+	got.Randomize(rng)
+	want := got.Clone()
+	k.F(kc, ap, bp, got.Data, got.Stride)
+	matrix.NaiveGemm(want, a, b)
+
+	if !got.AlmostEqual(want, kc, tol) {
+		t.Fatalf("%s kc=%d: max diff %g", k.Name, kc, got.MaxAbsDiff(want))
+	}
+}
+
+func TestGenericKernelMatchesNaive(t *testing.T) {
+	for _, shape := range [][2]int{{1, 1}, {2, 3}, {4, 4}, {8, 8}, {5, 7}} {
+		k := Generic[float64](shape[0], shape[1])
+		for _, kc := range []int{1, 2, 17, 64} {
+			checkKernelAgainstNaive(t, k, kc, int64(kc), 1e-12)
+		}
+	}
+}
+
+func TestUnrolledKernelsMatchGeneric(t *testing.T) {
+	shapes := [][2]int{{8, 8}, {6, 8}, {4, 8}, {8, 4}, {4, 4}}
+	for _, s := range shapes {
+		k := Best[float64](s[0], s[1])
+		if k.Name[:8] != "unrolled" {
+			t.Fatalf("expected unrolled kernel for %dx%d, got %s", s[0], s[1], k.Name)
+		}
+		for _, kc := range []int{1, 3, 32, 100} {
+			checkKernelAgainstNaive(t, k, kc, int64(kc)*31, 1e-12)
+		}
+	}
+}
+
+func TestUnrolledKernelsFloat32(t *testing.T) {
+	for _, s := range [][2]int{{8, 8}, {6, 8}, {4, 8}, {8, 4}, {4, 4}} {
+		k := Best[float32](s[0], s[1])
+		checkKernelAgainstNaive(t, k, 64, 99, 1e-5)
+	}
+}
+
+func TestBestFallsBackToGeneric(t *testing.T) {
+	k := Best[float32](3, 5)
+	if k.Name != "generic3x5" {
+		t.Fatalf("expected generic fallback, got %s", k.Name)
+	}
+	checkKernelAgainstNaive(t, k, 20, 5, 1e-4)
+}
+
+func TestDefaultKernel(t *testing.T) {
+	k := Default[float32]()
+	if k.MR != 8 || k.NR != 8 {
+		t.Fatalf("default kernel is %dx%d, want 8x8", k.MR, k.NR)
+	}
+}
+
+func TestGenericInvalidShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Generic[float32](0, 4)
+}
+
+func TestKernelZeroKc(t *testing.T) {
+	// kc=0 must be a no-op (C unchanged), not a crash.
+	k := Best[float64](8, 8)
+	c := matrix.New[float64](8, 8)
+	c.Fill(3)
+	k.F(0, nil, nil, c.Data, c.Stride)
+	for _, v := range c.Data {
+		if v != 3 {
+			t.Fatal("kc=0 modified C")
+		}
+	}
+}
+
+func TestKernelAccumulatesIntoC(t *testing.T) {
+	k := Best[float64](4, 4)
+	a := matrix.New[float64](4, 2)
+	b := matrix.New[float64](2, 4)
+	a.Fill(1)
+	b.Fill(1)
+	ap, bp := packPanels(a, b, 4, 4)
+	c := matrix.New[float64](4, 4)
+	c.Fill(10)
+	k.F(2, ap, bp, c.Data, c.Stride)
+	if c.At(0, 0) != 12 {
+		t.Fatalf("C += contract broken: got %v want 12", c.At(0, 0))
+	}
+}
+
+func TestKernelStridedC(t *testing.T) {
+	// The kernel must honour ldc > nr (writing a tile inside a larger C).
+	k := Best[float64](4, 4)
+	big := matrix.New[float64](8, 10)
+	tile := big.View(2, 3, 4, 4)
+	a := matrix.New[float64](4, 5)
+	b := matrix.New[float64](5, 4)
+	rng := rand.New(rand.NewSource(3))
+	a.Randomize(rng)
+	b.Randomize(rng)
+	ap, bp := packPanels(a, b, 4, 4)
+	k.F(5, ap, bp, tile.Data, tile.Stride)
+
+	want := matrix.New[float64](4, 4)
+	matrix.NaiveGemm(want, a, b)
+	if !tile.Clone().AlmostEqual(want, 5, 1e-12) {
+		t.Fatal("strided C tile wrong")
+	}
+	if big.At(0, 0) != 0 || big.At(7, 9) != 0 {
+		t.Fatal("kernel wrote outside its tile")
+	}
+}
+
+func TestComputeTileFullAndEdge(t *testing.T) {
+	k := Best[float64](8, 8)
+	s := NewScratch[float64](8, 8)
+	rng := rand.New(rand.NewSource(11))
+	kc := 13
+	a := matrix.New[float64](8, kc)
+	b := matrix.New[float64](kc, 8)
+	a.Randomize(rng)
+	b.Randomize(rng)
+	ap, bp := packPanels(a, b, 8, 8)
+
+	// Full tile path.
+	cFull := matrix.New[float64](8, 8)
+	ComputeTile(k, kc, ap, bp, cFull, s)
+	want := matrix.New[float64](8, 8)
+	matrix.NaiveGemm(want, a, b)
+	if !cFull.AlmostEqual(want, kc, 1e-12) {
+		t.Fatal("full tile path wrong")
+	}
+
+	// Edge path: 5×3 valid region of an 8×8 tile. The packed panels carry
+	// zero padding beyond the valid rows/cols, as packing produces.
+	aEdge := a.Clone()
+	bEdge := b.Clone()
+	for i := 5; i < 8; i++ {
+		for kk := 0; kk < kc; kk++ {
+			aEdge.Set(i, kk, 0)
+		}
+	}
+	for j := 3; j < 8; j++ {
+		for kk := 0; kk < kc; kk++ {
+			bEdge.Set(kk, j, 0)
+		}
+	}
+	apE, bpE := packPanels(aEdge, bEdge, 8, 8)
+	host := matrix.New[float64](6, 4)
+	host.Fill(1)
+	cEdge := host.View(1, 1, 5, 3)
+	ComputeTile(k, kc, apE, bpE, cEdge, s)
+
+	wantEdge := matrix.New[float64](5, 3)
+	wantEdge.Fill(1)
+	matrix.NaiveGemm(wantEdge, aEdge.View(0, 0, 5, kc), bEdge.View(0, 0, kc, 3))
+	if !cEdge.Clone().AlmostEqual(wantEdge, kc, 1e-12) {
+		t.Fatal("edge tile path wrong")
+	}
+	if host.At(0, 0) != 1 || host.At(0, 3) != 1 || host.At(5, 0) != 1 {
+		t.Fatal("edge path wrote outside view")
+	}
+}
+
+func TestKernelsAgreeQuick(t *testing.T) {
+	// Property: every registered specialisation ≡ the generic kernel of the
+	// same shape, over random kc and inputs.
+	shapes := [][2]int{{8, 8}, {6, 8}, {4, 8}, {8, 4}, {4, 4}}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := shapes[rng.Intn(len(shapes))]
+		mr, nr := s[0], s[1]
+		kc := 1 + rng.Intn(40)
+		a := matrix.New[float64](mr, kc)
+		b := matrix.New[float64](kc, nr)
+		a.Randomize(rng)
+		b.Randomize(rng)
+		ap, bp := packPanels(a, b, mr, nr)
+
+		c1 := matrix.New[float64](mr, nr)
+		c2 := matrix.New[float64](mr, nr)
+		Best[float64](mr, nr).F(kc, ap, bp, c1.Data, c1.Stride)
+		Generic[float64](mr, nr).F(kc, ap, bp, c2.Data, c2.Stride)
+		return c1.AlmostEqual(c2, kc, 1e-13)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

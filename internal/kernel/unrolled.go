@@ -1,0 +1,326 @@
+package kernel
+
+import "repro/internal/matrix"
+
+// Hand-unrolled microkernels. Accumulators live in fixed-size local arrays
+// so the compiler can keep them out of memory for the duration of the k
+// loop; the single write-back at the end touches each C element once, which
+// is the register-blocking contract the paper's Figure 5e/6e tile MM relies
+// on.
+
+func kernel8x8[T matrix.Scalar](kc int, a, b []T, c []T, ldc int) {
+	var c0, c1, c2, c3, c4, c5, c6, c7 [8]T
+	for k := 0; k < kc; k++ {
+		ak := a[k*8 : k*8+8 : k*8+8]
+		bk := b[k*8 : k*8+8 : k*8+8]
+		b0, b1, b2, b3 := bk[0], bk[1], bk[2], bk[3]
+		b4, b5, b6, b7 := bk[4], bk[5], bk[6], bk[7]
+
+		ai := ak[0]
+		c0[0] += ai * b0
+		c0[1] += ai * b1
+		c0[2] += ai * b2
+		c0[3] += ai * b3
+		c0[4] += ai * b4
+		c0[5] += ai * b5
+		c0[6] += ai * b6
+		c0[7] += ai * b7
+		ai = ak[1]
+		c1[0] += ai * b0
+		c1[1] += ai * b1
+		c1[2] += ai * b2
+		c1[3] += ai * b3
+		c1[4] += ai * b4
+		c1[5] += ai * b5
+		c1[6] += ai * b6
+		c1[7] += ai * b7
+		ai = ak[2]
+		c2[0] += ai * b0
+		c2[1] += ai * b1
+		c2[2] += ai * b2
+		c2[3] += ai * b3
+		c2[4] += ai * b4
+		c2[5] += ai * b5
+		c2[6] += ai * b6
+		c2[7] += ai * b7
+		ai = ak[3]
+		c3[0] += ai * b0
+		c3[1] += ai * b1
+		c3[2] += ai * b2
+		c3[3] += ai * b3
+		c3[4] += ai * b4
+		c3[5] += ai * b5
+		c3[6] += ai * b6
+		c3[7] += ai * b7
+		ai = ak[4]
+		c4[0] += ai * b0
+		c4[1] += ai * b1
+		c4[2] += ai * b2
+		c4[3] += ai * b3
+		c4[4] += ai * b4
+		c4[5] += ai * b5
+		c4[6] += ai * b6
+		c4[7] += ai * b7
+		ai = ak[5]
+		c5[0] += ai * b0
+		c5[1] += ai * b1
+		c5[2] += ai * b2
+		c5[3] += ai * b3
+		c5[4] += ai * b4
+		c5[5] += ai * b5
+		c5[6] += ai * b6
+		c5[7] += ai * b7
+		ai = ak[6]
+		c6[0] += ai * b0
+		c6[1] += ai * b1
+		c6[2] += ai * b2
+		c6[3] += ai * b3
+		c6[4] += ai * b4
+		c6[5] += ai * b5
+		c6[6] += ai * b6
+		c6[7] += ai * b7
+		ai = ak[7]
+		c7[0] += ai * b0
+		c7[1] += ai * b1
+		c7[2] += ai * b2
+		c7[3] += ai * b3
+		c7[4] += ai * b4
+		c7[5] += ai * b5
+		c7[6] += ai * b6
+		c7[7] += ai * b7
+	}
+	rows := [8]*[8]T{&c0, &c1, &c2, &c3, &c4, &c5, &c6, &c7}
+	for i, r := range rows {
+		ci := c[i*ldc : i*ldc+8]
+		ci[0] += r[0]
+		ci[1] += r[1]
+		ci[2] += r[2]
+		ci[3] += r[3]
+		ci[4] += r[4]
+		ci[5] += r[5]
+		ci[6] += r[6]
+		ci[7] += r[7]
+	}
+}
+
+func kernel6x8[T matrix.Scalar](kc int, a, b []T, c []T, ldc int) {
+	var c0, c1, c2, c3, c4, c5 [8]T
+	for k := 0; k < kc; k++ {
+		ak := a[k*6 : k*6+6 : k*6+6]
+		bk := b[k*8 : k*8+8 : k*8+8]
+		b0, b1, b2, b3 := bk[0], bk[1], bk[2], bk[3]
+		b4, b5, b6, b7 := bk[4], bk[5], bk[6], bk[7]
+
+		ai := ak[0]
+		c0[0] += ai * b0
+		c0[1] += ai * b1
+		c0[2] += ai * b2
+		c0[3] += ai * b3
+		c0[4] += ai * b4
+		c0[5] += ai * b5
+		c0[6] += ai * b6
+		c0[7] += ai * b7
+		ai = ak[1]
+		c1[0] += ai * b0
+		c1[1] += ai * b1
+		c1[2] += ai * b2
+		c1[3] += ai * b3
+		c1[4] += ai * b4
+		c1[5] += ai * b5
+		c1[6] += ai * b6
+		c1[7] += ai * b7
+		ai = ak[2]
+		c2[0] += ai * b0
+		c2[1] += ai * b1
+		c2[2] += ai * b2
+		c2[3] += ai * b3
+		c2[4] += ai * b4
+		c2[5] += ai * b5
+		c2[6] += ai * b6
+		c2[7] += ai * b7
+		ai = ak[3]
+		c3[0] += ai * b0
+		c3[1] += ai * b1
+		c3[2] += ai * b2
+		c3[3] += ai * b3
+		c3[4] += ai * b4
+		c3[5] += ai * b5
+		c3[6] += ai * b6
+		c3[7] += ai * b7
+		ai = ak[4]
+		c4[0] += ai * b0
+		c4[1] += ai * b1
+		c4[2] += ai * b2
+		c4[3] += ai * b3
+		c4[4] += ai * b4
+		c4[5] += ai * b5
+		c4[6] += ai * b6
+		c4[7] += ai * b7
+		ai = ak[5]
+		c5[0] += ai * b0
+		c5[1] += ai * b1
+		c5[2] += ai * b2
+		c5[3] += ai * b3
+		c5[4] += ai * b4
+		c5[5] += ai * b5
+		c5[6] += ai * b6
+		c5[7] += ai * b7
+	}
+	rows := [6]*[8]T{&c0, &c1, &c2, &c3, &c4, &c5}
+	for i, r := range rows {
+		ci := c[i*ldc : i*ldc+8]
+		for j := 0; j < 8; j++ {
+			ci[j] += r[j]
+		}
+	}
+}
+
+func kernel4x8[T matrix.Scalar](kc int, a, b []T, c []T, ldc int) {
+	var c0, c1, c2, c3 [8]T
+	for k := 0; k < kc; k++ {
+		ak := a[k*4 : k*4+4 : k*4+4]
+		bk := b[k*8 : k*8+8 : k*8+8]
+		b0, b1, b2, b3 := bk[0], bk[1], bk[2], bk[3]
+		b4, b5, b6, b7 := bk[4], bk[5], bk[6], bk[7]
+
+		ai := ak[0]
+		c0[0] += ai * b0
+		c0[1] += ai * b1
+		c0[2] += ai * b2
+		c0[3] += ai * b3
+		c0[4] += ai * b4
+		c0[5] += ai * b5
+		c0[6] += ai * b6
+		c0[7] += ai * b7
+		ai = ak[1]
+		c1[0] += ai * b0
+		c1[1] += ai * b1
+		c1[2] += ai * b2
+		c1[3] += ai * b3
+		c1[4] += ai * b4
+		c1[5] += ai * b5
+		c1[6] += ai * b6
+		c1[7] += ai * b7
+		ai = ak[2]
+		c2[0] += ai * b0
+		c2[1] += ai * b1
+		c2[2] += ai * b2
+		c2[3] += ai * b3
+		c2[4] += ai * b4
+		c2[5] += ai * b5
+		c2[6] += ai * b6
+		c2[7] += ai * b7
+		ai = ak[3]
+		c3[0] += ai * b0
+		c3[1] += ai * b1
+		c3[2] += ai * b2
+		c3[3] += ai * b3
+		c3[4] += ai * b4
+		c3[5] += ai * b5
+		c3[6] += ai * b6
+		c3[7] += ai * b7
+	}
+	rows := [4]*[8]T{&c0, &c1, &c2, &c3}
+	for i, r := range rows {
+		ci := c[i*ldc : i*ldc+8]
+		for j := 0; j < 8; j++ {
+			ci[j] += r[j]
+		}
+	}
+}
+
+func kernel4x4[T matrix.Scalar](kc int, a, b []T, c []T, ldc int) {
+	var c0, c1, c2, c3 [4]T
+	for k := 0; k < kc; k++ {
+		ak := a[k*4 : k*4+4 : k*4+4]
+		bk := b[k*4 : k*4+4 : k*4+4]
+		b0, b1, b2, b3 := bk[0], bk[1], bk[2], bk[3]
+
+		ai := ak[0]
+		c0[0] += ai * b0
+		c0[1] += ai * b1
+		c0[2] += ai * b2
+		c0[3] += ai * b3
+		ai = ak[1]
+		c1[0] += ai * b0
+		c1[1] += ai * b1
+		c1[2] += ai * b2
+		c1[3] += ai * b3
+		ai = ak[2]
+		c2[0] += ai * b0
+		c2[1] += ai * b1
+		c2[2] += ai * b2
+		c2[3] += ai * b3
+		ai = ak[3]
+		c3[0] += ai * b0
+		c3[1] += ai * b1
+		c3[2] += ai * b2
+		c3[3] += ai * b3
+	}
+	rows := [4]*[4]T{&c0, &c1, &c2, &c3}
+	for i, r := range rows {
+		ci := c[i*ldc : i*ldc+4]
+		ci[0] += r[0]
+		ci[1] += r[1]
+		ci[2] += r[2]
+		ci[3] += r[3]
+	}
+}
+
+func kernel8x4[T matrix.Scalar](kc int, a, b []T, c []T, ldc int) {
+	var c0, c1, c2, c3, c4, c5, c6, c7 [4]T
+	for k := 0; k < kc; k++ {
+		ak := a[k*8 : k*8+8 : k*8+8]
+		bk := b[k*4 : k*4+4 : k*4+4]
+		b0, b1, b2, b3 := bk[0], bk[1], bk[2], bk[3]
+
+		ai := ak[0]
+		c0[0] += ai * b0
+		c0[1] += ai * b1
+		c0[2] += ai * b2
+		c0[3] += ai * b3
+		ai = ak[1]
+		c1[0] += ai * b0
+		c1[1] += ai * b1
+		c1[2] += ai * b2
+		c1[3] += ai * b3
+		ai = ak[2]
+		c2[0] += ai * b0
+		c2[1] += ai * b1
+		c2[2] += ai * b2
+		c2[3] += ai * b3
+		ai = ak[3]
+		c3[0] += ai * b0
+		c3[1] += ai * b1
+		c3[2] += ai * b2
+		c3[3] += ai * b3
+		ai = ak[4]
+		c4[0] += ai * b0
+		c4[1] += ai * b1
+		c4[2] += ai * b2
+		c4[3] += ai * b3
+		ai = ak[5]
+		c5[0] += ai * b0
+		c5[1] += ai * b1
+		c5[2] += ai * b2
+		c5[3] += ai * b3
+		ai = ak[6]
+		c6[0] += ai * b0
+		c6[1] += ai * b1
+		c6[2] += ai * b2
+		c6[3] += ai * b3
+		ai = ak[7]
+		c7[0] += ai * b0
+		c7[1] += ai * b1
+		c7[2] += ai * b2
+		c7[3] += ai * b3
+	}
+	rows := [8]*[4]T{&c0, &c1, &c2, &c3, &c4, &c5, &c6, &c7}
+	for i, r := range rows {
+		ci := c[i*ldc : i*ldc+4]
+		ci[0] += r[0]
+		ci[1] += r[1]
+		ci[2] += r[2]
+		ci[3] += r[3]
+	}
+}

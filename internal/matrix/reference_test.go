@@ -1,0 +1,154 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomGemm(t *testing.T, seed int64, maxDim int) (a, b, c *Matrix[float64]) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m, n, k := 1+rng.Intn(maxDim), 1+rng.Intn(maxDim), 1+rng.Intn(maxDim)
+	a = New[float64](m, k)
+	b = New[float64](k, n)
+	c = New[float64](m, n)
+	a.Randomize(rng)
+	b.Randomize(rng)
+	c.Randomize(rng) // nonzero C exercises the accumulate contract
+	return
+}
+
+func TestNaiveGemmKnownValues(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := FromSlice(2, 2, []float64{5, 6, 7, 8})
+	c := New[float64](2, 2)
+	NaiveGemm(c, a, b)
+	want := FromSlice(2, 2, []float64{19, 22, 43, 50})
+	if !c.Equal(want) {
+		t.Fatalf("got %v want %v", c, want)
+	}
+}
+
+func TestNaiveGemmAccumulates(t *testing.T) {
+	a := FromSlice(1, 1, []float64{2})
+	b := FromSlice(1, 1, []float64{3})
+	c := FromSlice(1, 1, []float64{10})
+	NaiveGemm(c, a, b)
+	if c.At(0, 0) != 16 {
+		t.Fatalf("got %v want 16 (C += A*B)", c.At(0, 0))
+	}
+}
+
+func TestNaiveGemmIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New[float64](5, 5)
+	a.Randomize(rng)
+	id := New[float64](5, 5)
+	for i := 0; i < 5; i++ {
+		id.Set(i, i, 1)
+	}
+	c := New[float64](5, 5)
+	NaiveGemm(c, a, id)
+	if !c.AlmostEqual(a, 5, 1e-14) {
+		t.Fatal("A x I != A")
+	}
+}
+
+func TestOuterProductMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		a, b, c := randomGemm(t, seed, 12)
+		c2 := c.Clone()
+		NaiveGemm(c, a, b)
+		OuterProductGemm(c2, a, b)
+		return c.AlmostEqual(c2, a.Cols, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockedMatchesNaiveAllBlockSizes(t *testing.T) {
+	for _, bs := range []int{1, 2, 3, 5, 7, 16} {
+		f := func(seed int64) bool {
+			a, b, c := randomGemm(t, seed, 10)
+			c2 := c.Clone()
+			NaiveGemm(c, a, b)
+			BlockedGemm(c2, a, b, bs)
+			return c.AlmostEqual(c2, a.Cols, 1e-12)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+			t.Fatalf("bs=%d: %v", bs, err)
+		}
+	}
+}
+
+func TestBlockedGemmBadBlockSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BlockedGemm(New[float64](1, 1), New[float64](1, 1), New[float64](1, 1), 0)
+}
+
+func TestGemmOnViews(t *testing.T) {
+	// Multiply sub-matrices through views; result must land only in the
+	// viewed region of C.
+	rng := rand.New(rand.NewSource(7))
+	a := New[float32](8, 8)
+	b := New[float32](8, 8)
+	c := New[float32](8, 8)
+	a.Randomize(rng)
+	b.Randomize(rng)
+	av := a.View(2, 1, 3, 4)
+	bv := b.View(1, 3, 4, 2)
+	cv := c.View(4, 5, 3, 2)
+	NaiveGemm(cv, av, bv)
+
+	// Reference: extract compact copies.
+	ref := New[float32](3, 2)
+	NaiveGemm(ref, av.Clone(), bv.Clone())
+	if !cv.Clone().AlmostEqual(ref, 4, 1e-5) {
+		t.Fatal("view GEMM wrong")
+	}
+	if c.At(0, 0) != 0 || c.At(7, 0) != 0 {
+		t.Fatal("view GEMM wrote outside target region")
+	}
+}
+
+func TestGemmLinearity(t *testing.T) {
+	// (A1+A2)B == A1*B + A2*B — a structural property quick can explore.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n, k := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(8)
+		a1, a2 := New[float64](m, k), New[float64](m, k)
+		b := New[float64](k, n)
+		a1.Randomize(rng)
+		a2.Randomize(rng)
+		b.Randomize(rng)
+
+		sum := New[float64](m, k)
+		for i := range sum.Data {
+			sum.Data[i] = a1.Data[i] + a2.Data[i]
+		}
+		c1 := New[float64](m, n)
+		NaiveGemm(c1, sum, b)
+		c2 := New[float64](m, n)
+		NaiveGemm(c2, a1, b)
+		NaiveGemm(c2, a2, b)
+		return c1.AlmostEqual(c2, k, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGemmFlops(t *testing.T) {
+	if f := GemmFlops(10, 20, 30); f != 12000 {
+		t.Fatalf("GemmFlops=%v want 12000", f)
+	}
+	if f := GemmFlops(23040, 23040, 23040); f <= 0 {
+		t.Fatal("GemmFlops must not overflow for paper-sized inputs")
+	}
+}

@@ -1,0 +1,159 @@
+// Package membench measures the host's memory bandwidth the way the
+// paper's pmbw tool does (Section 5.2: "Internal bandwidths between the
+// last level cache and CPU cores were measured using the parallel memory
+// bandwidth benchmark tool (pmbw)"): concurrent streaming copies over
+// per-thread working sets, scanned across thread counts and working-set
+// sizes. FitBWCurve turns a thread scan into the piecewise-linear
+// platform.BWCurve the simulator and planner consume, closing the loop
+// between measurement and model on real hardware.
+package membench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/platform"
+)
+
+// Point is one thread-scan observation.
+type Point struct {
+	Threads     int
+	BytesPerSec float64
+}
+
+// Measure runs p goroutines streaming copies through private working sets
+// of wsBytes each for roughly dur, returning the aggregate bytes/second
+// (reads + writes, as pmbw's copy scan counts).
+func Measure(p, wsBytes int, dur time.Duration) (float64, error) {
+	if p < 1 || wsBytes < 64 || dur <= 0 {
+		return 0, fmt.Errorf("membench: invalid measure args p=%d ws=%d dur=%v", p, wsBytes, dur)
+	}
+	words := wsBytes / 16 // per buffer; src+dst double it
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	stop := make(chan struct{})
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			src := make([]uint64, words)
+			dst := make([]uint64, words)
+			for j := range src {
+				src[j] = uint64(j)
+			}
+			<-start
+			var moved int64
+			for {
+				select {
+				case <-stop:
+					total.Add(moved)
+					return
+				default:
+				}
+				copy(dst, src)
+				moved += int64(words) * 16 // 8 bytes read + 8 written per word
+			}
+		}()
+	}
+	t0 := time.Now()
+	close(start)
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(t0).Seconds()
+	return float64(total.Load()) / elapsed, nil
+}
+
+// ScanThreads measures aggregate bandwidth for 1..maxThreads threads.
+func ScanThreads(maxThreads, wsBytes int, dur time.Duration) ([]Point, error) {
+	if maxThreads < 1 {
+		return nil, fmt.Errorf("membench: maxThreads %d", maxThreads)
+	}
+	out := make([]Point, 0, maxThreads)
+	for p := 1; p <= maxThreads; p++ {
+		bw, err := Measure(p, wsBytes, dur)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Point{Threads: p, BytesPerSec: bw})
+	}
+	return out, nil
+}
+
+// SizePoint is one working-set-scan observation.
+type SizePoint struct {
+	WorkingSet  int
+	BytesPerSec float64
+}
+
+// ScanWorkingSet measures single-thread bandwidth across working-set sizes,
+// the scan that exposes cache-capacity cliffs (pmbw's size sweep).
+func ScanWorkingSet(sizes []int, dur time.Duration) ([]SizePoint, error) {
+	out := make([]SizePoint, 0, len(sizes))
+	for _, ws := range sizes {
+		bw, err := Measure(1, ws, dur)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SizePoint{WorkingSet: ws, BytesPerSec: bw})
+	}
+	return out, nil
+}
+
+// FitBWCurve fits the piecewise-linear saturation model the platform
+// package uses to a thread scan: the knee is placed where the per-core
+// increment drops the most, SlopePre is the mean increment before it and
+// SlopePost the mean after. A scan with fewer than three points (or no
+// clear knee) fits a single line.
+func FitBWCurve(points []Point) (platform.BWCurve, error) {
+	if len(points) == 0 {
+		return platform.BWCurve{}, fmt.Errorf("membench: empty scan")
+	}
+	if len(points) < 3 {
+		slope := points[0].BytesPerSec
+		if len(points) == 2 {
+			slope = points[1].BytesPerSec / 2
+		}
+		return platform.BWCurve{SlopePre: slope, Knee: len(points), SlopePost: slope}, nil
+	}
+	// Per-thread increments; increments[i] is the gain of thread i+2.
+	incs := make([]float64, len(points)-1)
+	for i := 1; i < len(points); i++ {
+		incs[i-1] = points[i].BytesPerSec - points[i-1].BytesPerSec
+	}
+	// Knee: the increment index with the largest drop from the running
+	// pre-knee average.
+	knee := len(points) // default: no knee observed
+	bestDrop := 0.0
+	preSum := points[0].BytesPerSec
+	preCount := 1.0
+	for i, inc := range incs {
+		avg := preSum / preCount
+		if drop := avg - inc; drop > bestDrop && drop > 0.25*avg {
+			bestDrop = drop
+			knee = i + 1 // threads before this increment
+		}
+		preSum += inc
+		preCount++
+	}
+	var pre, post float64
+	if knee >= len(points) {
+		pre = points[len(points)-1].BytesPerSec / float64(len(points))
+		post = pre
+	} else {
+		pre = points[knee-1].BytesPerSec / float64(knee)
+		n := 0.0
+		for i := knee - 1; i < len(incs); i++ {
+			post += incs[i]
+			n++
+		}
+		post /= n
+		if post < 0 {
+			post = 0
+		}
+	}
+	return platform.BWCurve{SlopePre: pre, Knee: knee, SlopePost: post}, nil
+}

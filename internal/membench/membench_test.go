@@ -1,0 +1,141 @@
+package membench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/platform"
+)
+
+func TestMeasureReturnsBandwidth(t *testing.T) {
+	bw, err := Measure(1, 1<<20, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any machine that runs the suite moves well over 100 MB/s.
+	if bw < 100e6 {
+		t.Fatalf("implausible bandwidth %v", bw)
+	}
+}
+
+func TestMeasureInvalidArgs(t *testing.T) {
+	if _, err := Measure(0, 1<<20, time.Millisecond); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+	if _, err := Measure(1, 8, time.Millisecond); err == nil {
+		t.Fatal("tiny working set accepted")
+	}
+	if _, err := Measure(1, 1<<20, 0); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}
+
+func TestScanThreads(t *testing.T) {
+	pts, err := ScanThreads(2, 1<<20, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Threads != 1 || pts[1].Threads != 2 {
+		t.Fatalf("scan %v", pts)
+	}
+	if _, err := ScanThreads(0, 1<<20, time.Millisecond); err == nil {
+		t.Fatal("maxThreads=0 accepted")
+	}
+}
+
+func TestScanWorkingSet(t *testing.T) {
+	pts, err := ScanWorkingSet([]int{64 << 10, 8 << 20}, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].WorkingSet != 64<<10 {
+		t.Fatalf("scan %v", pts)
+	}
+	for _, p := range pts {
+		if p.BytesPerSec <= 0 {
+			t.Fatal("non-positive bandwidth")
+		}
+	}
+}
+
+func TestFitBWCurveRecoversSyntheticKnee(t *testing.T) {
+	// Intel-like shape: 60 GB/s per core to 6 cores, then 25 GB/s.
+	truth := platform.BWCurve{SlopePre: 60, Knee: 6, SlopePost: 25}
+	var pts []Point
+	for p := 1; p <= 10; p++ {
+		pts = append(pts, Point{Threads: p, BytesPerSec: truth.At(p)})
+	}
+	got, err := FitBWCurve(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Knee != 6 {
+		t.Fatalf("knee %d want 6 (%+v)", got.Knee, got)
+	}
+	if got.SlopePre < 55 || got.SlopePre > 65 || got.SlopePost < 20 || got.SlopePost > 30 {
+		t.Fatalf("slopes %+v", got)
+	}
+	// Round trip: the fitted curve reproduces the scan.
+	for p := 1; p <= 10; p++ {
+		if d := got.At(p) - truth.At(p); d > 1 || d < -1 {
+			t.Fatalf("fit diverges at p=%d: %v vs %v", p, got.At(p), truth.At(p))
+		}
+	}
+}
+
+func TestFitBWCurveLinearScan(t *testing.T) {
+	// AMD-like: no knee within the scan — the fit stays linear.
+	var pts []Point
+	for p := 1; p <= 8; p++ {
+		pts = append(pts, Point{Threads: p, BytesPerSec: 50 * float64(p)})
+	}
+	got, err := FitBWCurve(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 1; p <= 8; p++ {
+		if d := got.At(p) - 50*float64(p); d > 1 || d < -1 {
+			t.Fatalf("linear fit diverges at p=%d: %v", p, got.At(p))
+		}
+	}
+}
+
+func TestFitBWCurveARMShape(t *testing.T) {
+	// ARM-like: hard flatten after 2 threads.
+	pts := []Point{{1, 7}, {2, 14}, {3, 14.5}, {4, 15}}
+	got, err := FitBWCurve(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Knee != 2 {
+		t.Fatalf("knee %d want 2 (%+v)", got.Knee, got)
+	}
+	if got.At(4) > 17 || got.At(4) < 13 {
+		t.Fatalf("At(4)=%v", got.At(4))
+	}
+}
+
+func TestFitBWCurveSmallInputs(t *testing.T) {
+	if _, err := FitBWCurve(nil); err == nil {
+		t.Fatal("empty scan accepted")
+	}
+	one, err := FitBWCurve([]Point{{1, 10}})
+	if err != nil || one.At(1) != 10 {
+		t.Fatalf("single point fit: %+v err=%v", one, err)
+	}
+	two, err := FitBWCurve([]Point{{1, 10}, {2, 18}})
+	if err != nil || two.At(2) != 18 {
+		t.Fatalf("two point fit: %+v err=%v", two, err)
+	}
+}
+
+func TestFitBWCurveNeverNegativePost(t *testing.T) {
+	pts := []Point{{1, 100}, {2, 200}, {3, 180}, {4, 160}}
+	got, err := FitBWCurve(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SlopePost < 0 || got.At(10) < 0 {
+		t.Fatalf("negative extrapolation: %+v", got)
+	}
+}

@@ -1,0 +1,181 @@
+// Package packing implements the contiguous-buffer layouts that both the
+// CAKE and GOTO drivers copy matrix operands into before computing
+// (paper Section 5.2.1). Packing keeps kernel operands dense, prevents cache
+// self-interference, and lets the LRU-eviction sizing rule of Section 4.3
+// reason about whole surfaces.
+//
+// Layout contract (shared with internal/kernel):
+//
+//   - An A block of r×kc is stored as ceil(r/mr) row panels. Panel q holds
+//     rows [q·mr, q·mr+mr) k-major: element (i, k) of the panel is at
+//     dst[q·mr·kc + k·mr + i]. Rows past r are zero-padded.
+//   - A B block of kc×c is stored as ceil(c/nr) column panels. Panel q holds
+//     columns [q·nr, q·nr+nr) k-major: element (k, j) of the panel is at
+//     dst[q·nr·kc + k·nr + j]. Columns past c are zero-padded.
+//
+// Zero padding means microkernels never see partial panels on the packed
+// side; only the C write-back needs edge handling.
+package packing
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/matrix"
+)
+
+// PackedASize returns the buffer length needed to pack an r×kc A block in
+// mr-row panels.
+func PackedASize(r, kc, mr int) int {
+	return ceilDiv(r, mr) * mr * kc
+}
+
+// PackedBSize returns the buffer length needed to pack a kc×c B block in
+// nr-column panels.
+func PackedBSize(kc, c, nr int) int {
+	return ceilDiv(c, nr) * nr * kc
+}
+
+// PackA packs the dense block a (any r×kc view) into dst using mr-row
+// panels, zero-padding the final partial panel. dst must have at least
+// PackedASize(a.Rows, a.Cols, mr) elements; the used prefix is returned.
+func PackA[T matrix.Scalar](dst []T, a *matrix.Matrix[T], mr int) []T {
+	r, kc := a.Rows, a.Cols
+	n := PackedASize(r, kc, mr)
+	if len(dst) < n {
+		panic(fmt.Sprintf("packing: PackA dst %d < %d", len(dst), n))
+	}
+	dst = dst[:n]
+	for q := 0; q < ceilDiv(r, mr); q++ {
+		panel := dst[q*mr*kc : (q+1)*mr*kc]
+		rows := min(mr, r-q*mr)
+		for k := 0; k < kc; k++ {
+			col := panel[k*mr : k*mr+mr]
+			for i := 0; i < rows; i++ {
+				col[i] = a.At(q*mr+i, k)
+			}
+			for i := rows; i < mr; i++ {
+				col[i] = 0
+			}
+		}
+	}
+	return dst
+}
+
+// PackB packs the dense block b (any kc×c view) into dst using nr-column
+// panels, zero-padding the final partial panel. dst must have at least
+// PackedBSize(b.Rows, b.Cols, nr) elements; the used prefix is returned.
+func PackB[T matrix.Scalar](dst []T, b *matrix.Matrix[T], nr int) []T {
+	kc, c := b.Rows, b.Cols
+	n := PackedBSize(kc, c, nr)
+	if len(dst) < n {
+		panic(fmt.Sprintf("packing: PackB dst %d < %d", len(dst), n))
+	}
+	dst = dst[:n]
+	for q := 0; q < ceilDiv(c, nr); q++ {
+		panel := dst[q*nr*kc : (q+1)*nr*kc]
+		cols := min(nr, c-q*nr)
+		for k := 0; k < kc; k++ {
+			row := panel[k*nr : k*nr+nr]
+			brow := b.Row(k)[q*nr : q*nr+cols]
+			copy(row, brow)
+			for j := cols; j < nr; j++ {
+				row[j] = 0
+			}
+		}
+	}
+	return dst
+}
+
+// PackAT packs the transpose of the dense block at (a kc×r view, holding
+// Aᵀ) into dst using the PackA layout: logical element A(i, k) = at(k, i).
+// Used for GEMM with a transposed left operand — the packed form is
+// identical, so microkernels are oblivious to storage order.
+func PackAT[T matrix.Scalar](dst []T, at *matrix.Matrix[T], mr int) []T {
+	kc, r := at.Rows, at.Cols
+	n := PackedASize(r, kc, mr)
+	if len(dst) < n {
+		panic(fmt.Sprintf("packing: PackAT dst %d < %d", len(dst), n))
+	}
+	dst = dst[:n]
+	for q := 0; q < ceilDiv(r, mr); q++ {
+		panel := dst[q*mr*kc : (q+1)*mr*kc]
+		rows := min(mr, r-q*mr)
+		for k := 0; k < kc; k++ {
+			col := panel[k*mr : k*mr+mr]
+			arow := at.Row(k)[q*mr : q*mr+rows]
+			copy(col, arow)
+			for i := rows; i < mr; i++ {
+				col[i] = 0
+			}
+		}
+	}
+	return dst
+}
+
+// PackBT packs the transpose of the dense block bt (a c×kc view, holding
+// Bᵀ) into dst using the PackB layout: logical element B(k, j) = bt(j, k).
+func PackBT[T matrix.Scalar](dst []T, bt *matrix.Matrix[T], nr int) []T {
+	c, kc := bt.Rows, bt.Cols
+	n := PackedBSize(kc, c, nr)
+	if len(dst) < n {
+		panic(fmt.Sprintf("packing: PackBT dst %d < %d", len(dst), n))
+	}
+	dst = dst[:n]
+	for q := 0; q < ceilDiv(c, nr); q++ {
+		panel := dst[q*nr*kc : (q+1)*nr*kc]
+		cols := min(nr, c-q*nr)
+		for k := 0; k < kc; k++ {
+			row := panel[k*nr : k*nr+nr]
+			for j := 0; j < cols; j++ {
+				row[j] = bt.At(q*nr+j, k)
+			}
+			for j := cols; j < nr; j++ {
+				row[j] = 0
+			}
+		}
+	}
+	return dst
+}
+
+// Macro runs the macro-kernel: C += Aᵖ × Bᵖ where Aᵖ packs c.Rows×kc and Bᵖ
+// packs kc×c.Cols per the layout contract. It sweeps register tiles in the
+// jr-inside-ir order of Figures 5c–d/6c–d (each A row panel is reused across
+// all B column panels, the per-core reuse pattern of Section 2.1).
+func Macro[T matrix.Scalar](k kernel.Kernel[T], kc int, ap, bp []T, c *matrix.Matrix[T], s *kernel.Scratch[T]) {
+	mPanels := ceilDiv(c.Rows, k.MR)
+	nPanels := ceilDiv(c.Cols, k.NR)
+	for ir := 0; ir < mPanels; ir++ {
+		aPanel := ap[ir*k.MR*kc : (ir+1)*k.MR*kc]
+		rows := min(k.MR, c.Rows-ir*k.MR)
+		for jr := 0; jr < nPanels; jr++ {
+			bPanel := bp[jr*k.NR*kc : (jr+1)*k.NR*kc]
+			cols := min(k.NR, c.Cols-jr*k.NR)
+			if rows == k.MR && cols == k.NR {
+				// Full tile: write straight into C, no view allocation —
+				// this is the hot path for everything but edge tiles.
+				k.F(kc, aPanel, bPanel, c.Data[ir*k.MR*c.Stride+jr*k.NR:], c.Stride)
+				continue
+			}
+			ct := c.View(ir*k.MR, jr*k.NR, k.MR, k.NR)
+			kernel.ComputeTile(k, kc, aPanel, bPanel, ct, s)
+		}
+	}
+}
+
+// AddInto accumulates src into dst element-wise (dst += src). Used to fold a
+// locally accumulated CB-block C buffer back into the output matrix once its
+// K reduction completes.
+func AddInto[T matrix.Scalar](dst, src *matrix.Matrix[T]) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic(fmt.Sprintf("packing: AddInto %dx%d += %dx%d", dst.Rows, dst.Cols, src.Rows, src.Cols))
+	}
+	for i := 0; i < dst.Rows; i++ {
+		d, s := dst.Row(i), src.Row(i)
+		for j := range d {
+			d[j] += s[j]
+		}
+	}
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

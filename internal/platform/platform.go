@@ -1,0 +1,221 @@
+// Package platform describes the three CPUs of the paper's Table 2 as
+// parameter sets for the architecture simulator and the CAKE planner.
+//
+// Cache sizes, core counts, DRAM capacities and DRAM bandwidths are the
+// paper's Table 2 values. Clock rates and per-core FLOP rates are calibrated
+// so that peak simulated throughput matches the throughput the paper reports
+// for each machine (Figures 10b, 11b, 12b); internal-bandwidth curves are
+// piecewise-linear fits of the paper's pmbw measurements (Figures 10c, 11c,
+// 12c). This is the substitution documented in DESIGN.md: the real machines
+// and the pmbw tool are replaced by calibrated models with identical
+// externally visible parameters.
+package platform
+
+import (
+	"fmt"
+	"math"
+)
+
+// BWCurve is a piecewise-linear internal-bandwidth model: bandwidth grows by
+// SlopePre bytes/s per core up to Knee cores, then by SlopePost per core —
+// the saturation shape pmbw measures on real parts (e.g. the i9's LLC stops
+// scaling past 6 cores, Figure 10c).
+type BWCurve struct {
+	SlopePre  float64 // bytes/s added per core, cores 1..Knee
+	Knee      int     // last core index with the pre-knee slope
+	SlopePost float64 // bytes/s added per core past the knee
+}
+
+// At returns the aggregate internal bandwidth available to p cores.
+func (c BWCurve) At(p int) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p <= c.Knee {
+		return float64(p) * c.SlopePre
+	}
+	return float64(c.Knee)*c.SlopePre + float64(p-c.Knee)*c.SlopePost
+}
+
+// MemLevel identifies a level of the memory hierarchy.
+type MemLevel int
+
+const (
+	L1 MemLevel = iota
+	L2
+	LLC // shared last-level cache: L3 on the desktop parts, L2 on the A53
+	DRAM
+)
+
+func (l MemLevel) String() string {
+	switch l {
+	case L1:
+		return "L1"
+	case L2:
+		return "L2"
+	case LLC:
+		return "LLC"
+	default:
+		return "DRAM"
+	}
+}
+
+// Platform is one evaluated CPU.
+type Platform struct {
+	Name  string
+	Cores int
+
+	L1Bytes  int64 // per-core L1D
+	L2Bytes  int64 // per-core private L2 (0 when L2 is the shared LLC)
+	LLCBytes int64 // shared last-level cache available to matrix operands
+
+	DRAMBytes int64   // main memory capacity
+	DRAMBW    float64 // sustained external bandwidth, bytes/s
+
+	ClockHz       float64 // core clock
+	FlopsPerCycle float64 // per-core single-precision FLOPs/cycle (MAC = 2)
+
+	Internal BWCurve // LLC↔core aggregate bandwidth vs active cores
+
+	// Load-to-use latencies in core cycles, for the stall model (Fig. 7).
+	LatL1, LatL2, LatLLC, LatDRAM int
+
+	// DemandOverlap ∈ [0,1] is the fraction of demand-miss DRAM traffic
+	// (read-modify-write streams the kernel issues inline, e.g. GOTO's
+	// partial-C round-trips) the core can hide behind computation: near 1
+	// for deep out-of-order desktops, 0 for the in-order A53.
+	DemandOverlap float64
+
+	HasL3 bool // false on the A53, where the shared L2 is the LLC
+}
+
+// PeakGFLOPS returns the machine's dense-compute roof at p cores.
+func (pl *Platform) PeakGFLOPS(p int) float64 {
+	return pl.ClockHz * pl.FlopsPerCycle * float64(p) / 1e9
+}
+
+// Validate checks internal consistency.
+func (pl *Platform) Validate() error {
+	switch {
+	case pl.Cores < 1:
+		return fmt.Errorf("platform %s: %d cores", pl.Name, pl.Cores)
+	case pl.LLCBytes <= 0 || pl.L1Bytes <= 0:
+		return fmt.Errorf("platform %s: non-positive cache sizes", pl.Name)
+	case pl.DRAMBW <= 0 || pl.ClockHz <= 0 || pl.FlopsPerCycle <= 0:
+		return fmt.Errorf("platform %s: non-positive rates", pl.Name)
+	default:
+		return nil
+	}
+}
+
+// IntelI9 returns the Intel i9-10900K model: high DRAM bandwidth and a large
+// LLC, but internal bandwidth that stops scaling past 6 cores (Fig. 10c).
+func IntelI9() *Platform {
+	return &Platform{
+		Name:          "Intel i9-10900K",
+		Cores:         10,
+		L1Bytes:       32 << 10,
+		L2Bytes:       256 << 10,
+		LLCBytes:      20 << 20,
+		DRAMBytes:     32 << 30,
+		DRAMBW:        40e9,
+		ClockHz:       3.7e9,
+		FlopsPerCycle: 32, // 2×256-bit FMA pipes
+		Internal:      BWCurve{SlopePre: 60e9, Knee: 6, SlopePost: 25e9},
+		LatL1:         4, LatL2: 12, LatLLC: 42, LatDRAM: 220,
+		DemandOverlap: 0.98,
+		HasL3:         true,
+	}
+}
+
+// AMDRyzen9 returns the AMD Ryzen 9 5950X model: the least constrained
+// machine — big LLC and internal bandwidth that keeps scaling ~50 GB/s per
+// core (Fig. 12c).
+func AMDRyzen9() *Platform {
+	return &Platform{
+		Name:          "AMD Ryzen 9 5950X",
+		Cores:         16,
+		L1Bytes:       32 << 10,
+		L2Bytes:       512 << 10,
+		LLCBytes:      64 << 20,
+		DRAMBytes:     128 << 30,
+		DRAMBW:        47e9,
+		ClockHz:       3.4e9,
+		FlopsPerCycle: 16,
+		Internal:      BWCurve{SlopePre: 50e9, Knee: 16, SlopePost: 50e9},
+		LatL1:         4, LatL2: 12, LatLLC: 46, LatDRAM: 230,
+		DemandOverlap: 0.98,
+		HasL3:         true,
+	}
+}
+
+// ARMCortexA53 returns the embedded ARM v8 Cortex A53 model: severely
+// limited DRAM bandwidth (2 GB/s), no L3 (the 512 KiB shared L2 is the
+// LLC), and internal bandwidth that barely scales past 2 cores (Fig. 11c).
+func ARMCortexA53() *Platform {
+	return &Platform{
+		Name:          "ARM v8 Cortex A53",
+		Cores:         4,
+		L1Bytes:       16 << 10,
+		L2Bytes:       0, // shared L2 is the LLC
+		LLCBytes:      512 << 10,
+		DRAMBytes:     1 << 30,
+		DRAMBW:        2e9,
+		ClockHz:       1.4e9,
+		FlopsPerCycle: 2,
+		Internal:      BWCurve{SlopePre: 7e9, Knee: 2, SlopePost: 0.5e9},
+		LatL1:         3, LatL2: 16, LatLLC: 16, LatDRAM: 160,
+		DemandOverlap: 0,
+		HasL3:         false,
+	}
+}
+
+// All returns the Table 2 platforms in the paper's order.
+func All() []*Platform {
+	return []*Platform{IntelI9(), AMDRyzen9(), ARMCortexA53()}
+}
+
+// ByName returns the platform whose name contains the given substring
+// (case-sensitive), e.g. "Intel", "AMD", "ARM".
+func ByName(name string) (*Platform, error) {
+	for _, p := range All() {
+		if contains(p.Name, name) {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("platform: no platform matching %q", name)
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// Extrapolate extends an observed per-core series to target points using the
+// slope of the last two observations — exactly how the paper's dotted
+// extrapolation lines are initialised ("We use the last two data points in
+// each plot to initialize the extrapolation line", Section 5.2).
+func Extrapolate(observed []float64, target int) []float64 {
+	if len(observed) == 0 {
+		panic("platform: Extrapolate needs at least one observation")
+	}
+	out := make([]float64, target)
+	n := copy(out, observed)
+	if n >= target {
+		return out[:target]
+	}
+	slope := 0.0
+	if len(observed) >= 2 {
+		slope = observed[len(observed)-1] - observed[len(observed)-2]
+	}
+	last := observed[len(observed)-1]
+	for i := n; i < target; i++ {
+		last += slope
+		out[i] = math.Max(0, last)
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package platform
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTable2Values(t *testing.T) {
+	// The paper's Table 2, verbatim.
+	intel := IntelI9()
+	if intel.Cores != 10 || intel.LLCBytes != 20<<20 || intel.DRAMBW != 40e9 ||
+		intel.L1Bytes != 32<<10 || intel.L2Bytes != 256<<10 || intel.DRAMBytes != 32<<30 {
+		t.Fatalf("Intel Table 2 mismatch: %+v", intel)
+	}
+	amd := AMDRyzen9()
+	if amd.Cores != 16 || amd.LLCBytes != 64<<20 || amd.DRAMBW != 47e9 ||
+		amd.L2Bytes != 512<<10 || amd.DRAMBytes != 128<<30 {
+		t.Fatalf("AMD Table 2 mismatch: %+v", amd)
+	}
+	arm := ARMCortexA53()
+	if arm.Cores != 4 || arm.DRAMBW != 2e9 || arm.L1Bytes != 16<<10 ||
+		arm.LLCBytes != 512<<10 || arm.DRAMBytes != 1<<30 || arm.HasL3 {
+		t.Fatalf("ARM Table 2 mismatch: %+v", arm)
+	}
+}
+
+func TestAllValid(t *testing.T) {
+	ps := All()
+	if len(ps) != 3 {
+		t.Fatalf("expected 3 platforms, got %d", len(ps))
+	}
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestValidateRejectsBroken(t *testing.T) {
+	p := IntelI9()
+	p.Cores = 0
+	if p.Validate() == nil {
+		t.Fatal("0 cores accepted")
+	}
+	p = IntelI9()
+	p.DRAMBW = 0
+	if p.Validate() == nil {
+		t.Fatal("0 bandwidth accepted")
+	}
+	p = IntelI9()
+	p.LLCBytes = 0
+	if p.Validate() == nil {
+		t.Fatal("0 LLC accepted")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, sub := range []string{"Intel", "AMD", "ARM"} {
+		p, err := ByName(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !contains(p.Name, sub) {
+			t.Fatalf("ByName(%q) returned %q", sub, p.Name)
+		}
+	}
+	if _, err := ByName("RISC-V"); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+}
+
+func TestPeakGFLOPSCalibration(t *testing.T) {
+	// Peaks must sit near the paper's reported maxima: ~1200 GFLOP/s for
+	// the i9 at 10 cores (Fig. 10b), ~11 GFLOP/s for the A53 at 4 cores
+	// (Fig. 11b), and AMD ≳ 800 at 16 (Fig. 12b).
+	if g := IntelI9().PeakGFLOPS(10); g < 1000 || g > 1400 {
+		t.Fatalf("Intel peak %v outside paper range", g)
+	}
+	if g := ARMCortexA53().PeakGFLOPS(4); g < 8 || g > 14 {
+		t.Fatalf("ARM peak %v outside paper range", g)
+	}
+	if g := AMDRyzen9().PeakGFLOPS(16); g < 700 || g > 1300 {
+		t.Fatalf("AMD peak %v outside paper range", g)
+	}
+}
+
+func TestBWCurveShape(t *testing.T) {
+	c := BWCurve{SlopePre: 10, Knee: 3, SlopePost: 2}
+	if c.At(0) != 0 || c.At(-1) != 0 {
+		t.Fatal("non-positive cores must give 0")
+	}
+	if c.At(2) != 20 || c.At(3) != 30 {
+		t.Fatalf("pre-knee wrong: %v %v", c.At(2), c.At(3))
+	}
+	if c.At(5) != 34 {
+		t.Fatalf("post-knee wrong: %v", c.At(5))
+	}
+}
+
+func TestInternalBWMatchesPaperShapes(t *testing.T) {
+	// Fig. 10c: Intel stops scaling proportionally past 6 cores.
+	intel := IntelI9().Internal
+	pre := intel.At(6) - intel.At(5)
+	post := intel.At(10) - intel.At(9)
+	if post >= pre {
+		t.Fatal("Intel internal BW must flatten past the knee")
+	}
+	// Fig. 11c: ARM flat beyond 2 cores.
+	arm := ARMCortexA53().Internal
+	if arm.At(4)-arm.At(2) > 0.2*arm.At(2) {
+		t.Fatal("ARM internal BW should barely grow past 2 cores")
+	}
+	// Fig. 12c: AMD roughly linear at ~50 GB/s/core through 16.
+	amd := AMDRyzen9().Internal
+	if d := amd.At(16) - amd.At(15); math.Abs(d-50e9) > 1e9 {
+		t.Fatalf("AMD slope %v, want ~50 GB/s/core", d)
+	}
+}
+
+func TestExtrapolate(t *testing.T) {
+	obs := []float64{10, 20, 30}
+	got := Extrapolate(obs, 5)
+	want := []float64{10, 20, 30, 40, 50}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestExtrapolateShortTarget(t *testing.T) {
+	got := Extrapolate([]float64{5, 6, 7}, 2)
+	if len(got) != 2 || got[0] != 5 || got[1] != 6 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestExtrapolateSinglePointFlat(t *testing.T) {
+	got := Extrapolate([]float64{4}, 3)
+	if got[1] != 4 || got[2] != 4 {
+		t.Fatalf("single observation should extrapolate flat: %v", got)
+	}
+}
+
+func TestExtrapolateNeverNegative(t *testing.T) {
+	got := Extrapolate([]float64{10, 4}, 6)
+	for _, v := range got {
+		if v < 0 {
+			t.Fatalf("negative extrapolation: %v", got)
+		}
+	}
+}
+
+func TestExtrapolateEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Extrapolate(nil, 3)
+}
+
+func TestMemLevelString(t *testing.T) {
+	if L1.String() != "L1" || L2.String() != "L2" || LLC.String() != "LLC" || DRAM.String() != "DRAM" {
+		t.Fatal("MemLevel names wrong")
+	}
+}

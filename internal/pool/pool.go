@@ -1,0 +1,126 @@
+// Package pool provides a fixed-size worker pool with a parallel-for
+// primitive. The CAKE and GOTO drivers use one worker per simulated core so
+// that goroutine identity corresponds to the paper's "core" (each core owns
+// one A tile / one mc-strip of the CB block), and so repeated block
+// executions reuse goroutines instead of spawning per block.
+package pool
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+type job struct {
+	f    func(worker, item int)
+	n    int64
+	next atomic.Int64
+	wg   sync.WaitGroup
+}
+
+// Pool runs work items on a fixed set of worker goroutines.
+type Pool struct {
+	workers int
+	jobs    chan *job
+	closed  atomic.Bool
+}
+
+// New creates a pool with the given number of workers. workers <= 0 selects
+// GOMAXPROCS. Callers must Close the pool when done with it.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers, jobs: make(chan *job)}
+	for w := 0; w < workers; w++ {
+		go p.worker(w)
+	}
+	return p
+}
+
+func (p *Pool) worker(id int) {
+	for j := range p.jobs {
+		for {
+			i := j.next.Add(1) - 1
+			if i >= j.n {
+				break
+			}
+			j.f(id, int(i))
+		}
+		j.wg.Done()
+	}
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// For runs f(worker, item) for every item in [0, n), distributing items over
+// the workers, and blocks until all complete. worker identifies the
+// executing worker in [0, Workers()); items are claimed dynamically, so a
+// worker may execute zero or many items. f must not call For on the same
+// pool (no nested parallelism).
+func (p *Pool) For(n int, f func(worker, item int)) {
+	if n <= 0 {
+		return
+	}
+	if p.closed.Load() {
+		panic("pool: For on closed pool")
+	}
+	if p.workers == 1 || n == 1 {
+		// Fast path: run inline; worker id 0 keeps per-worker scratch valid.
+		for i := 0; i < n; i++ {
+			f(0, i)
+		}
+		return
+	}
+	j := &job{f: f, n: int64(n)}
+	j.wg.Add(p.workers)
+	for w := 0; w < p.workers; w++ {
+		p.jobs <- j
+	}
+	j.wg.Wait()
+}
+
+// ForStatic runs f(core, item) with a static assignment: item i always runs
+// under virtual core i%Workers(), and one goroutine serves each virtual
+// core. Used where the paper's analysis pins work to a core (core i owns
+// strip i of every CB block), so per-core scratch indexed by the core
+// argument is never shared.
+func (p *Pool) ForStatic(n int, f func(core, item int)) {
+	if n <= 0 {
+		return
+	}
+	if p.closed.Load() {
+		panic("pool: ForStatic on closed pool")
+	}
+	if p.workers == 1 {
+		for i := 0; i < n; i++ {
+			f(0, i)
+		}
+		return
+	}
+	// Each dynamically claimed item in [0, workers) is a virtual core that
+	// processes its own strided slice of [0, n). Exactly one goroutine
+	// claims each virtual core, giving the static mapping.
+	j := &job{n: int64(p.workers)}
+	j.f = func(_, core int) {
+		for i := core; i < n; i += p.workers {
+			f(core, i)
+		}
+	}
+	j.wg.Add(p.workers)
+	for w := 0; w < p.workers; w++ {
+		p.jobs <- j
+	}
+	j.wg.Wait()
+}
+
+// Close shuts the pool down. Pending For calls must have returned; using
+// the pool after Close panics.
+func (p *Pool) Close() {
+	if p.closed.Swap(true) {
+		panic(fmt.Sprintf("pool: double Close of %d-worker pool", p.workers))
+	}
+	close(p.jobs)
+}

@@ -1,0 +1,175 @@
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForRunsEveryItemOnce(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	const n = 1000
+	counts := make([]atomic.Int32, n)
+	p.For(n, func(_, i int) { counts[i].Add(1) })
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("item %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestForWorkerIDsInRange(t *testing.T) {
+	p := New(3)
+	defer p.Close()
+	var bad atomic.Int32
+	p.For(200, func(w, _ int) {
+		if w < 0 || w >= 3 {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatal("worker id out of range")
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	ran := false
+	p.For(0, func(_, _ int) { ran = true })
+	p.For(-5, func(_, _ int) { ran = true })
+	if ran {
+		t.Fatal("For ran items for n<=0")
+	}
+}
+
+func TestForSingleWorkerInline(t *testing.T) {
+	p := New(1)
+	defer p.Close()
+	order := []int{}
+	p.For(5, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("worker %d on single-worker pool", w)
+		}
+		order = append(order, i)
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatal("single-worker pool must run in order")
+		}
+	}
+}
+
+func TestForReusableAcrossCalls(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var total atomic.Int64
+	for round := 0; round < 50; round++ {
+		p.For(37, func(_, _ int) { total.Add(1) })
+	}
+	if total.Load() != 50*37 {
+		t.Fatalf("total %d", total.Load())
+	}
+}
+
+func TestForConcurrencyActuallyParallel(t *testing.T) {
+	// With w workers and w items that rendezvous, completion proves
+	// parallel execution (a serial pool would deadlock).
+	const w = 4
+	p := New(w)
+	defer p.Close()
+	var barrier sync.WaitGroup
+	barrier.Add(w)
+	done := make(chan struct{})
+	go func() {
+		p.For(w, func(_, _ int) {
+			barrier.Done()
+			barrier.Wait()
+		})
+		close(done)
+	}()
+	<-done
+}
+
+func TestForStaticMapping(t *testing.T) {
+	const w = 3
+	p := New(w)
+	defer p.Close()
+	cores := make([]int, 20)
+	var mu sync.Mutex
+	p.ForStatic(20, func(core, i int) {
+		mu.Lock()
+		cores[i] = core
+		mu.Unlock()
+	})
+	for i, c := range cores {
+		if c != i%w {
+			t.Fatalf("item %d ran on core %d, want %d", i, c, i%w)
+		}
+	}
+}
+
+func TestForStaticEachItemOnce(t *testing.T) {
+	p := New(5)
+	defer p.Close()
+	counts := make([]atomic.Int32, 101)
+	p.ForStatic(101, func(_, i int) { counts[i].Add(1) })
+	for i := range counts {
+		if counts[i].Load() != 1 {
+			t.Fatalf("item %d ran %d times", i, counts[i].Load())
+		}
+	}
+}
+
+func TestForStaticCoreExclusive(t *testing.T) {
+	// Items of the same virtual core must run sequentially: per-core
+	// counters need no locks.
+	const w = 4
+	p := New(w)
+	defer p.Close()
+	perCore := make([]int, w) // intentionally not atomic
+	p.ForStatic(400, func(core, _ int) { perCore[core]++ })
+	sum := 0
+	for _, c := range perCore {
+		sum += c
+	}
+	if sum != 400 {
+		t.Fatalf("sum %d want 400 (lost updates imply core sharing)", sum)
+	}
+}
+
+func TestWorkersAndDefault(t *testing.T) {
+	p := New(7)
+	if p.Workers() != 7 {
+		t.Fatal("Workers wrong")
+	}
+	p.Close()
+	d := New(0)
+	if d.Workers() < 1 {
+		t.Fatal("default pool empty")
+	}
+	d.Close()
+}
+
+func TestUseAfterClosePanics(t *testing.T) {
+	p := New(2)
+	p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.For(10, func(_, _ int) {})
+}
+
+func TestDoubleClosePanics(t *testing.T) {
+	p := New(2)
+	p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Close()
+}

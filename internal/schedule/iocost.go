@@ -1,0 +1,106 @@
+package schedule
+
+import "fmt"
+
+// Surfaces gives the element counts of one block's three IO surfaces.
+type Surfaces struct {
+	A, B, C float64
+}
+
+// Cost is the external-IO accounting of running a schedule with a local
+// memory that retains exactly the previous block's A and B surfaces plus the
+// current resident partial-C surface (the paper's LLC model, Section 2.2).
+type Cost struct {
+	AFetch        float64 // elements of A fetched from external memory
+	BFetch        float64 // elements of B fetched
+	CWrite        float64 // elements of C written back (partial or final)
+	CFetch        float64 // elements of partial C re-fetched
+	AReuses       int     // transitions where the A surface was reused
+	BReuses       int     // transitions where the B surface was reused
+	CReuses       int     // transitions where the partial C stayed resident
+	PartialEvents int     // times a partial C had to round-trip to DRAM
+}
+
+// Total returns all external traffic in elements.
+func (c Cost) Total() float64 { return c.AFetch + c.BFetch + c.CWrite + c.CFetch }
+
+func (c Cost) String() string {
+	return fmt.Sprintf("IO{A=%.0f B=%.0f Cw=%.0f Cr=%.0f reuse A/B/C=%d/%d/%d partials=%d}",
+		c.AFetch, c.BFetch, c.CWrite, c.CFetch, c.AReuses, c.BReuses, c.CReuses, c.PartialEvents)
+}
+
+// EvalIO runs the reuse model over seq. A block's A surface is keyed by
+// (M, K), B by (K, N) and C by (M, N). Only the immediately preceding
+// block's A and B can be reused (single-block local memory); the partial C
+// surface stays resident as long as consecutive blocks share it, and is
+// written back when the schedule moves off it — once, as a completed result,
+// when all Kb reduction steps for that (M, N) ran while it was resident;
+// otherwise as a partial that must be re-fetched on return (costing the 2×
+// IO the paper attributes to partial results in Section 2.2).
+func EvalIO(d Dims, seq []Coord, s Surfaces) Cost {
+	if !IsPermutation(d, seq) {
+		panic("schedule: EvalIO requires a complete schedule")
+	}
+	var cost Cost
+	progress := make(map[[2]int]int) // (M,N) → reduction steps accumulated
+	for i, cur := range seq {
+		aShared, bShared, cShared := false, false, false
+		if i > 0 {
+			aShared, bShared, cShared = Shared(seq[i-1], cur)
+		}
+		if aShared {
+			cost.AReuses++
+		} else {
+			cost.AFetch += s.A
+		}
+		if bShared {
+			cost.BReuses++
+		} else {
+			cost.BFetch += s.B
+		}
+		key := [2]int{cur.M, cur.N}
+		if cShared {
+			cost.CReuses++
+		} else {
+			// Leaving the previous C surface: write it back.
+			if i > 0 {
+				prevKey := [2]int{seq[i-1].M, seq[i-1].N}
+				cost.CWrite += s.C
+				if progress[prevKey] < d.Kb {
+					cost.PartialEvents++
+				}
+			}
+			// Arriving at this C surface: re-fetch any existing partial.
+			if progress[key] > 0 {
+				cost.CFetch += s.C
+			}
+		}
+		progress[key]++
+	}
+	// Final block's C surface writes back at the end.
+	cost.CWrite += s.C
+	if last := seq[len(seq)-1]; progress[[2]int{last.M, last.N}] < d.Kb {
+		cost.PartialEvents++
+	}
+	return cost
+}
+
+// OptimalIO returns the external-IO lower bound for a K-first schedule of
+// the given order under the single-block reuse model: every (M, N) C surface
+// is written exactly once (complete, never re-fetched) and one input surface
+// is reused per run-boundary transition.
+func OptimalIO(d Dims, o Order, s Surfaces) float64 {
+	blocks := float64(d.Blocks())
+	mn := float64(d.Mb * d.Nb)
+	var aReuses, bReuses float64
+	if o == OuterN {
+		// Within a K run C is resident and both inputs stream; at an M-run
+		// boundary the B surface is reused; at an N step the A surface is.
+		bReuses = float64(d.Nb) * float64(d.Mb-1)
+		aReuses = float64(d.Nb - 1)
+	} else {
+		aReuses = float64(d.Mb) * float64(d.Nb-1)
+		bReuses = float64(d.Mb - 1)
+	}
+	return (blocks-aReuses)*s.A + (blocks-bReuses)*s.B + mn*s.C
+}

@@ -1,0 +1,133 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var testSurf = Surfaces{A: 100, B: 150, C: 400}
+
+func TestEvalIORequiresPermutation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	EvalIO(Dims{2, 2, 2}, []Coord{{0, 0, 0}}, testSurf)
+}
+
+func TestKFirstAchievesOptimalIO(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := Dims{1 + rng.Intn(5), 1 + rng.Intn(5), 1 + rng.Intn(5)}
+		o := Order(rng.Intn(2))
+		cost := EvalIO(d, KFirst(d, o), testSurf)
+		return cost.Total() == OptimalIO(d, o, testSurf) &&
+			cost.PartialEvents == 0 && cost.CFetch == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKFirstBeatsNaive(t *testing.T) {
+	// The snake must never lose to restart-at-zero, and must strictly win
+	// whenever there are run boundaries to exploit (Kb>1 with Mb>1 loses B
+	// reuse at M steps; Nb>1 additionally loses A reuse).
+	d := Dims{4, 4, 4}
+	k := EvalIO(d, KFirst(d, OuterN), testSurf)
+	n := EvalIO(d, Naive(d, OuterN), testSurf)
+	if k.Total() >= n.Total() {
+		t.Fatalf("KFirst %v not better than naive %v", k.Total(), n.Total())
+	}
+	// Naive still keeps C runs contiguous, so the gap is exactly the missed
+	// A and B reuses.
+	missedB := float64(d.Nb*(d.Mb-1)) * testSurf.B
+	missedA := float64(d.Nb-1) * testSurf.A
+	if got := n.Total() - k.Total(); got != missedA+missedB {
+		t.Fatalf("reuse gap %v, want %v", got, missedA+missedB)
+	}
+}
+
+func TestOrderChoiceMinimisesIO(t *testing.T) {
+	// When Nb > Mb (B surface bigger side), OuterN must be at least as good;
+	// symmetric for Mb > Nb. Surfaces scale with the same dims.
+	dWide := Dims{Mb: 2, Nb: 6, Kb: 3}
+	s := Surfaces{A: 100, B: 100, C: 300}
+	on := EvalIO(dWide, KFirst(dWide, OuterN), s).Total()
+	om := EvalIO(dWide, KFirst(dWide, OuterM), s).Total()
+	if on > om {
+		t.Fatalf("OuterN (%v) should win for wide space (OuterM %v)", on, om)
+	}
+	dTall := Dims{Mb: 6, Nb: 2, Kb: 3}
+	on = EvalIO(dTall, KFirst(dTall, OuterN), s).Total()
+	om = EvalIO(dTall, KFirst(dTall, OuterM), s).Total()
+	if om > on {
+		t.Fatalf("OuterM (%v) should win for tall space (OuterN %v)", om, on)
+	}
+}
+
+func TestEvalIOCountsReuses(t *testing.T) {
+	d := Dims{Mb: 2, Nb: 2, Kb: 2}
+	cost := EvalIO(d, KFirst(d, OuterN), testSurf)
+	// OuterN: B reused at each M step (Nb·(Mb−1) = 2), A at each N step (1),
+	// C resident within each K run (Mb·Nb·(Kb−1) = 4).
+	if cost.BReuses != 2 || cost.AReuses != 1 || cost.CReuses != 4 {
+		t.Fatalf("reuses A/B/C = %d/%d/%d", cost.AReuses, cost.BReuses, cost.CReuses)
+	}
+	// C written once per (M,N).
+	if cost.CWrite != 4*testSurf.C {
+		t.Fatalf("CWrite=%v", cost.CWrite)
+	}
+}
+
+func TestEvalIOChargesPartialRoundTrips(t *testing.T) {
+	// A deliberately bad schedule: visit K=0 for all (M,N), then K=1 —
+	// every C surface is left partial and must round-trip.
+	d := Dims{Mb: 2, Nb: 1, Kb: 2}
+	seq := []Coord{{0, 0, 0}, {1, 0, 0}, {0, 0, 1}, {1, 0, 1}}
+	cost := EvalIO(d, seq, testSurf)
+	if cost.PartialEvents != 2 {
+		t.Fatalf("PartialEvents=%d want 2", cost.PartialEvents)
+	}
+	if cost.CFetch != 2*testSurf.C {
+		t.Fatalf("CFetch=%v want %v", cost.CFetch, 2*testSurf.C)
+	}
+	// Its total must exceed K-first's.
+	if best := EvalIO(d, KFirst(d, OuterN), testSurf); cost.Total() <= best.Total() {
+		t.Fatal("partial-thrashing schedule should cost more than K-first")
+	}
+}
+
+func TestEvalIOSingleBlock(t *testing.T) {
+	d := Dims{1, 1, 1}
+	cost := EvalIO(d, KFirst(d, OuterN), testSurf)
+	if cost.Total() != testSurf.A+testSurf.B+testSurf.C {
+		t.Fatalf("single block IO=%v", cost.Total())
+	}
+	if cost.PartialEvents != 0 {
+		t.Fatal("complete single block flagged partial")
+	}
+}
+
+func TestCostString(t *testing.T) {
+	if EvalIO(Dims{1, 1, 1}, []Coord{{0, 0, 0}}, testSurf).String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestRandomScheduleNeverBeatsKFirst(t *testing.T) {
+	// Property: K-first is IO-optimal among sampled permutations.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := Dims{1 + rng.Intn(4), 1 + rng.Intn(4), 1 + rng.Intn(4)}
+		best := EvalIO(d, KFirst(d, OrderFor(d.Mb, d.Nb)), testSurf).Total()
+		perm := KFirst(d, OuterN)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		return EvalIO(d, perm, testSurf).Total() >= best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+// Package sim implements the CAKE architecture simulator of Section 6.2: a
+// discrete-event model of a machine with external DRAM, a shared local
+// memory (LLC), and a grid of cores, connected by bandwidth- and latency-
+// constrained links that carry source-routed packets. The authors built the
+// same kind of simulator in SystemC/MatchLib to validate CB block designs
+// before implementing the library; here it additionally stands in for their
+// hardware measurements (DESIGN.md substitutions), regenerating the DRAM
+// bandwidth, throughput and stall profiles of Figures 7 and 10–12.
+//
+// Time is measured in core clock cycles.
+package sim
+
+import "container/heap"
+
+// event is one scheduled callback.
+type event struct {
+	time int64
+	seq  int64 // FIFO tie-break for equal times
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	*h = old[:n-1]
+	return
+}
+
+// Engine is a deterministic discrete-event simulator core.
+type Engine struct {
+	now    int64
+	seq    int64
+	events eventHeap
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time in cycles.
+func (e *Engine) Now() int64 { return e.now }
+
+// At schedules fn at absolute time t (not before now). Events at equal
+// times run in scheduling order.
+func (e *Engine) At(t int64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{time: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn d cycles from now.
+func (e *Engine) After(d int64, fn func()) { e.At(e.now+d, fn) }
+
+// Run processes events until the queue drains, returning the final time.
+func (e *Engine) Run() int64 {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.time
+		ev.fn()
+	}
+	return e.now
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }

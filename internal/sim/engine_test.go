@@ -1,0 +1,108 @@
+package sim
+
+import "testing"
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(10, func() { order = append(order, 2) })
+	e.At(5, func() { order = append(order, 1) })
+	e.At(10, func() { order = append(order, 3) }) // same time: FIFO
+	end := e.Run()
+	if end != 10 {
+		t.Fatalf("end=%d", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestEngineAfterAndNesting(t *testing.T) {
+	e := NewEngine()
+	var fired []int64
+	e.At(3, func() {
+		e.After(4, func() { fired = append(fired, e.Now()) })
+	})
+	e.Run()
+	if len(fired) != 1 || fired[0] != 7 {
+		t.Fatalf("fired %v", fired)
+	}
+}
+
+func TestEnginePastEventsClampToNow(t *testing.T) {
+	e := NewEngine()
+	var at int64 = -1
+	e.At(10, func() {
+		e.At(3, func() { at = e.Now() }) // in the past: runs now
+	})
+	e.Run()
+	if at != 10 {
+		t.Fatalf("past event ran at %d", at)
+	}
+}
+
+func TestEnginePending(t *testing.T) {
+	e := NewEngine()
+	e.At(1, func() {})
+	e.At(2, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("pending %d", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatal("pending after run")
+	}
+}
+
+func TestLinkSerialisation(t *testing.T) {
+	e := NewEngine()
+	l := NewLink(e, 10, 5) // 10 B/cycle, 5 cycles latency
+	var arrivals []int64
+	deliver := func(*Packet) { arrivals = append(arrivals, e.Now()) }
+	l.Send(&Packet{Route: []ModuleID{ModDRAM, ModLLC}, Bytes: 100}, deliver) // ser 10
+	l.Send(&Packet{Route: []ModuleID{ModDRAM, ModLLC}, Bytes: 50}, deliver)  // ser 5, queued
+	e.Run()
+	if len(arrivals) != 2 || arrivals[0] != 15 || arrivals[1] != 20 {
+		t.Fatalf("arrivals %v", arrivals)
+	}
+	if l.BytesCarried != 150 || l.BusyCycles != 15 {
+		t.Fatalf("link accounting %d/%d", l.BytesCarried, l.BusyCycles)
+	}
+}
+
+func TestLinkMinimumServiceTime(t *testing.T) {
+	e := NewEngine()
+	l := NewLink(e, 1000, 0)
+	var at int64 = -1
+	l.Send(&Packet{Route: []ModuleID{ModDRAM, ModLLC}, Bytes: 1}, func(*Packet) { at = e.Now() })
+	e.Run()
+	if at != 1 {
+		t.Fatalf("tiny packet arrived at %d, want 1 cycle minimum", at)
+	}
+}
+
+func TestLinkZeroBWPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLink(NewEngine(), 0, 0)
+}
+
+func TestPacketHelpers(t *testing.T) {
+	p := &Packet{Route: []ModuleID{ModDRAM, ModLLC, CoreBase + 3}, Kind: PktA}
+	if p.Dst() != CoreBase+3 || p.AtDst() {
+		t.Fatal("routing helpers wrong")
+	}
+	p.Hop = 2
+	if !p.AtDst() {
+		t.Fatal("AtDst at final hop")
+	}
+	if p.String() == "" || PktCtl.String() != "ctl" || ModLLC.String() != "LLC" {
+		t.Fatal("string forms")
+	}
+	if (CoreBase+2).String() != "core2" || ModDRAM.String() != "DRAM" {
+		t.Fatal("module names")
+	}
+}

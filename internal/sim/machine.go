@@ -1,0 +1,298 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+)
+
+// MachineConfig parameterises the simulated machine (Figure 1's
+// architecture: external DRAM, shared local memory, p cores).
+type MachineConfig struct {
+	Cores            int
+	MACsPerCoreCycle float64 // per-core multiply-accumulates per cycle
+	ExtBW            float64 // DRAM↔LLC bandwidth, bytes/cycle
+	IntBW            float64 // LLC↔cores aggregate bandwidth, bytes/cycle
+	ExtLatency       int64   // DRAM access latency, cycles
+	IntLatency       int64   // LLC access latency, cycles
+	PacketBytes      int64   // max payload per packet (0 → default 64 KiB)
+	LLCBytes         int64   // shared local memory capacity (0 → unchecked)
+
+	// DemandOverlap ∈ [0,1]: the fraction of a block's demand-miss DRAM
+	// traffic the cores hide behind computation (platform.DemandOverlap).
+	DemandOverlap float64
+}
+
+// FromPlatform builds the machine model for a Table 2 platform running p of
+// its cores.
+func FromPlatform(pl *platform.Platform, p int) MachineConfig {
+	return MachineConfig{
+		Cores:            p,
+		MACsPerCoreCycle: pl.FlopsPerCycle / 2,
+		ExtBW:            pl.DRAMBW / pl.ClockHz,
+		IntBW:            pl.Internal.At(p) / pl.ClockHz,
+		ExtLatency:       int64(pl.LatDRAM),
+		IntLatency:       int64(pl.LatLLC),
+		PacketBytes:      64 << 10,
+		LLCBytes:         pl.LLCBytes,
+		DemandOverlap:    pl.DemandOverlap,
+	}
+}
+
+// Validate reports the first problem with the configuration.
+func (c MachineConfig) Validate() error {
+	switch {
+	case c.Cores < 1:
+		return fmt.Errorf("sim: %d cores", c.Cores)
+	case c.MACsPerCoreCycle <= 0:
+		return fmt.Errorf("sim: MAC rate %v", c.MACsPerCoreCycle)
+	case c.ExtBW <= 0 || c.IntBW <= 0:
+		return fmt.Errorf("sim: bandwidths ext=%v int=%v", c.ExtBW, c.IntBW)
+	default:
+		return nil
+	}
+}
+
+// BlockOp is one scheduled block of work: the IO a block needs before
+// compute, the local traffic during compute, and the results it retires.
+// The workload builders (CakeOps, GotoOps) emit these from the respective
+// schedules with all surface reuse already applied.
+type BlockOp struct {
+	FetchA int64 // DRAM→LLC bytes of A not reused from the previous block
+	FetchB int64 // DRAM→LLC bytes of B not reused
+	WriteC int64 // LLC→DRAM bytes retired after this block (overlappable)
+	// Demand traffic: DRAM transfers the kernel issues inline with
+	// computation (GOTO's partial-C read-modify-write streams). Unlike the
+	// prefetched Fetch* surfaces these cannot be double-buffered; the
+	// machine hides only DemandOverlap of their cost.
+	DemandRead  int64
+	DemandWrite int64
+	Internal    int64 // LLC↔cores bytes moved during compute (kernel-level)
+	MACs        int64 // multiply-accumulates in the block
+	Active      int   // cores with work in this block (≤ Cores)
+	// Footprint is the local-memory demand of executing this block with
+	// double buffering (the Section 4.3 rule: resident C plus two
+	// generations of input surfaces). Zero means unchecked.
+	Footprint int64
+}
+
+// Metrics is the outcome of a simulation run.
+type Metrics struct {
+	Cycles         int64 // total makespan
+	MACs           int64
+	Blocks         int
+	DRAMReadBytes  int64
+	DRAMWriteBytes int64
+	InternalBytes  int64
+	ComputeCycles  int64 // Σ pure compute time of blocks (no stalls)
+	StallDRAM      int64 // cycles compute waited on external fetches
+	StallInternal  int64 // extra block cycles from LLC-bandwidth pressure
+}
+
+// ThroughputGFLOPS converts the run to the paper's GFLOP/s metric.
+func (m Metrics) ThroughputGFLOPS(clockHz float64) float64 {
+	if m.Cycles == 0 {
+		return 0
+	}
+	return 2 * float64(m.MACs) / (float64(m.Cycles) / clockHz) / 1e9
+}
+
+// AvgDRAMBW returns the observed average DRAM bandwidth in bytes/s.
+func (m Metrics) AvgDRAMBW(clockHz float64) float64 {
+	if m.Cycles == 0 {
+		return 0
+	}
+	return float64(m.DRAMReadBytes+m.DRAMWriteBytes) / (float64(m.Cycles) / clockHz)
+}
+
+// machine wires the Section 6.2 modules together for one run.
+type machine struct {
+	cfg  MachineConfig
+	eng  *Engine
+	ext  *Link // DRAM↔LLC (shared by fetches and writebacks)
+	intl *Link // LLC↔core grid
+
+	ops []BlockOp
+	met Metrics
+
+	fetchDone   []int64 // arrival time of each block's last fetch packet
+	fetchQueued int     // next block to enqueue fetches for
+	computeIdx  int     // next block to compute
+	running     bool    // a block is currently on the cores
+	prevDone    int64   // completion time of the previous block
+}
+
+// Run simulates the block program on the machine and returns its metrics.
+// Blocks execute in order with double buffering: block i+1's surfaces are
+// fetched while block i computes (the LLC holds both, which is exactly what
+// the C + 2(A+B) ≤ S rule of Section 4.3 provisions for).
+func Run(cfg MachineConfig, ops []BlockOp) (Metrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	if len(ops) == 0 {
+		return Metrics{}, fmt.Errorf("sim: empty block program")
+	}
+	if cfg.PacketBytes <= 0 {
+		cfg.PacketBytes = 64 << 10
+	}
+	if cfg.LLCBytes > 0 {
+		for i := range ops {
+			if ops[i].Footprint > cfg.LLCBytes {
+				return Metrics{}, fmt.Errorf("sim: block %d footprint %d exceeds local memory %d (violates C + 2(A+B) <= S)",
+					i, ops[i].Footprint, cfg.LLCBytes)
+			}
+		}
+	}
+	m := &machine{
+		cfg:       cfg,
+		eng:       NewEngine(),
+		ops:       ops,
+		fetchDone: make([]int64, len(ops)),
+	}
+	m.ext = NewLink(m.eng, cfg.ExtBW, cfg.ExtLatency)
+	m.intl = NewLink(m.eng, cfg.IntBW, cfg.IntLatency)
+	for i := range m.fetchDone {
+		m.fetchDone[i] = -1
+	}
+	// Prime the pipeline: fetch block 0 (and 1, via the double buffer).
+	m.queueFetches()
+	m.eng.Run()
+	m.met.Cycles = m.prevDone
+	m.met.Blocks = len(ops)
+	return m.met, nil
+}
+
+// queueFetches enqueues DRAM→LLC packets for blocks up to one ahead of the
+// block being computed (double buffering).
+func (m *machine) queueFetches() {
+	for m.fetchQueued < len(m.ops) && m.fetchQueued <= m.computeIdx+1 {
+		i := m.fetchQueued
+		m.fetchQueued++
+		op := m.ops[i]
+		total := op.FetchA + op.FetchB
+		m.met.DRAMReadBytes += total
+		if total == 0 {
+			// Everything reused from the previous block: ready now.
+			m.fetchDone[i] = m.eng.Now()
+			m.tryCompute()
+			continue
+		}
+		last := int64(0)
+		send := func(kind PacketKind, bytes int64) {
+			for _, sz := range splitPayload(bytes, m.cfg.PacketBytes) {
+				pkt := &Packet{Route: []ModuleID{ModDRAM, ModLLC}, Kind: kind, Block: i, Bytes: sz}
+				at := m.ext.Send(pkt, func(*Packet) {})
+				if at > last {
+					last = at
+				}
+			}
+		}
+		send(PktA, op.FetchA)
+		send(PktB, op.FetchB)
+		m.eng.At(last, func() {
+			m.fetchDone[i] = m.eng.Now()
+			m.tryCompute()
+		})
+	}
+}
+
+// tryCompute starts the next block when its fetch has landed and the cores
+// are free.
+func (m *machine) tryCompute() {
+	i := m.computeIdx
+	if m.running || i >= len(m.ops) || m.fetchDone[i] < 0 {
+		return
+	}
+	m.running = true
+	ready := max(m.prevDone, m.eng.Now())
+	if m.fetchDone[i] > m.prevDone {
+		m.met.StallDRAM += m.fetchDone[i] - max(m.prevDone, 0)
+	}
+	start := max(ready, m.fetchDone[i])
+
+	op := m.ops[i]
+	active := op.Active
+	if active < 1 || active > m.cfg.Cores {
+		active = m.cfg.Cores
+	}
+	compute := int64(float64(op.MACs)/(float64(active)*m.cfg.MACsPerCoreCycle)) + 1
+
+	// Stream the block's kernel traffic over the internal bus; its last
+	// arrival gates block completion alongside the pure compute time.
+	intDone := start
+	m.met.InternalBytes += op.Internal
+	for _, sz := range splitPayload(op.Internal, m.cfg.PacketBytes) {
+		pkt := &Packet{Route: []ModuleID{ModLLC, CoreBase}, Kind: PktB, Block: i, Bytes: sz}
+		// Internal transfers cannot begin before the block starts.
+		if m.intl.busyUntil < start {
+			m.intl.busyUntil = start
+		}
+		at := m.intl.Send(pkt, func(*Packet) {})
+		if at > intDone {
+			intDone = at
+		}
+	}
+	// Demand traffic: the kernel's inline DRAM streams occupy the external
+	// link (contending with prefetches) and stall the cores for whatever
+	// fraction the microarchitecture cannot overlap.
+	demand := op.DemandRead + op.DemandWrite
+	var demandStall int64
+	if demand > 0 {
+		m.met.DRAMReadBytes += op.DemandRead
+		m.met.DRAMWriteBytes += op.DemandWrite
+		for _, sz := range splitPayload(demand, m.cfg.PacketBytes) {
+			pkt := &Packet{Route: []ModuleID{ModDRAM, ModLLC}, Kind: PktCWrite, Block: i, Bytes: sz}
+			m.ext.Send(pkt, func(*Packet) {})
+		}
+		ser := int64(float64(demand) / m.cfg.ExtBW)
+		demandStall = int64((1 - m.cfg.DemandOverlap) * float64(ser))
+		m.met.StallDRAM += demandStall
+	}
+
+	done := max(start+compute+demandStall, intDone)
+	m.met.ComputeCycles += compute
+	m.met.MACs += op.MACs
+	if done > start+compute+demandStall {
+		m.met.StallInternal += done - (start + compute + demandStall)
+	}
+
+	m.eng.At(done, func() {
+		m.prevDone = m.eng.Now()
+		m.running = false
+		if op.WriteC > 0 {
+			m.met.DRAMWriteBytes += op.WriteC
+			for _, sz := range splitPayload(op.WriteC, m.cfg.PacketBytes) {
+				pkt := &Packet{Route: []ModuleID{ModLLC, ModDRAM}, Kind: PktCWrite, Block: i, Bytes: sz}
+				m.ext.Send(pkt, func(*Packet) {})
+			}
+		}
+		m.computeIdx++
+		m.queueFetches()
+		m.tryCompute()
+	})
+}
+
+// maxPacketsPerTransfer bounds the event count of one logical transfer:
+// packets grow beyond PacketBytes for very large transfers so simulation
+// cost stays proportional to the block count, not the byte count.
+const maxPacketsPerTransfer = 32
+
+// splitPayload divides a transfer into packet payloads of at most maxBytes,
+// subject to the per-transfer packet cap.
+func splitPayload(bytes, maxBytes int64) []int64 {
+	if bytes <= 0 {
+		return nil
+	}
+	if lo := (bytes + maxPacketsPerTransfer - 1) / maxPacketsPerTransfer; maxBytes < lo {
+		maxBytes = lo
+	}
+	n := (bytes + maxBytes - 1) / maxBytes
+	out := make([]int64, 0, n)
+	for bytes > 0 {
+		sz := min(bytes, maxBytes)
+		out = append(out, sz)
+		bytes -= sz
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+)
+
+// testCfg is a machine where the numbers are easy to reason about:
+// 4 cores × 1 MAC/cycle, 8 B/cycle DRAM, 64 B/cycle internal.
+func testCfg() MachineConfig {
+	return MachineConfig{
+		Cores: 4, MACsPerCoreCycle: 1,
+		ExtBW: 8, IntBW: 64,
+		ExtLatency: 10, IntLatency: 2,
+		PacketBytes: 1 << 10, DemandOverlap: 1,
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(MachineConfig{}, []BlockOp{{MACs: 1}}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := Run(testCfg(), nil); err == nil {
+		t.Fatal("empty program accepted")
+	}
+}
+
+func TestComputeBoundBlock(t *testing.T) {
+	// One block: fetch 80 B (10 cycles + 10 latency), compute 1e6 MACs on
+	// 4 cores = 250k cycles. Makespan ≈ fetch + compute.
+	ops := []BlockOp{{FetchA: 80, MACs: 1_000_000, Internal: 100, Active: 4}}
+	m, err := Run(testCfg(), ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cycles < 250_000 || m.Cycles > 251_000 {
+		t.Fatalf("cycles %d", m.Cycles)
+	}
+	if m.DRAMReadBytes != 80 || m.MACs != 1_000_000 {
+		t.Fatalf("accounting %+v", m)
+	}
+	if m.StallDRAM == 0 {
+		t.Fatal("pipeline-fill fetch should register as DRAM stall")
+	}
+}
+
+func TestDoubleBufferingHidesFetch(t *testing.T) {
+	// Many compute-heavy blocks: fetches for block i+1 overlap compute of
+	// block i, so makespan ≈ first fetch + Σ compute.
+	var ops []BlockOp
+	for i := 0; i < 10; i++ {
+		ops = append(ops, BlockOp{FetchA: 800, MACs: 40_000, Internal: 10, Active: 4})
+	}
+	m, err := Run(testCfg(), ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	computePer := int64(10_000)
+	fetchPer := int64(100 + 10)
+	ideal := fetchPer + 10*computePer
+	if m.Cycles > ideal+1000 {
+		t.Fatalf("cycles %d, double buffering not overlapping (ideal %d)", m.Cycles, ideal)
+	}
+	// Only the pipeline fill stalls.
+	if m.StallDRAM > 2*fetchPer {
+		t.Fatalf("stalls %d", m.StallDRAM)
+	}
+}
+
+func TestDRAMBoundBlocks(t *testing.T) {
+	// Fetch 80 kB per block at 8 B/cycle = 10k cycles; compute only 1k
+	// cycles. Makespan ≈ Σ fetch; stalls dominate.
+	var ops []BlockOp
+	for i := 0; i < 5; i++ {
+		ops = append(ops, BlockOp{FetchA: 80_000, MACs: 4_000, Internal: 10, Active: 4})
+	}
+	m, err := Run(testCfg(), ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cycles < 50_000 {
+		t.Fatalf("cycles %d below serial fetch floor", m.Cycles)
+	}
+	if m.StallDRAM < 40_000 {
+		t.Fatalf("DRAM stalls %d too low for a bandwidth-bound run", m.StallDRAM)
+	}
+}
+
+func TestInternalBoundBlocks(t *testing.T) {
+	// Internal traffic 640 kB at 64 B/cycle = 10k cycles vs 1k compute:
+	// LLC bandwidth limits the block.
+	ops := []BlockOp{{FetchA: 8, MACs: 4_000, Internal: 640_000, Active: 4}}
+	m, err := Run(testCfg(), ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.StallInternal < 8_000 {
+		t.Fatalf("internal stalls %d", m.StallInternal)
+	}
+	if m.InternalBytes != 640_000 {
+		t.Fatalf("internal bytes %d", m.InternalBytes)
+	}
+}
+
+func TestDemandTrafficStallsInOrderCores(t *testing.T) {
+	// Same block, overlap 1 vs 0: the non-overlapped machine pays the full
+	// serialisation of the demand stream.
+	op := BlockOp{FetchA: 8, MACs: 40_000, DemandWrite: 80_000, Internal: 10, Active: 4}
+	cfgOverlap := testCfg()
+	mOverlap, err := Run(cfgOverlap, []BlockOp{op})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgStall := testCfg()
+	cfgStall.DemandOverlap = 0
+	mStall, err := Run(cfgStall, []BlockOp{op})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mStall.Cycles < mOverlap.Cycles+9_000 {
+		t.Fatalf("in-order run %d not slower than overlapped %d by the demand cost", mStall.Cycles, mOverlap.Cycles)
+	}
+	if mStall.DRAMWriteBytes != 80_000 || mOverlap.DRAMWriteBytes != 80_000 {
+		t.Fatal("demand bytes must count as DRAM writes regardless of overlap")
+	}
+}
+
+func TestWritebackOverlapsNextBlocks(t *testing.T) {
+	// CAKE-style writeback (WriteC) is posted: with compute-heavy blocks it
+	// must not extend the makespan.
+	var with, without []BlockOp
+	for i := 0; i < 6; i++ {
+		op := BlockOp{FetchA: 80, MACs: 400_000, Internal: 10, Active: 4}
+		without = append(without, op)
+		op.WriteC = 400
+		with = append(with, op)
+	}
+	mW, err := Run(testCfg(), with)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mWo, err := Run(testCfg(), without)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mW.Cycles > mWo.Cycles+1000 {
+		t.Fatalf("writebacks not overlapped: %d vs %d", mW.Cycles, mWo.Cycles)
+	}
+	if mW.DRAMWriteBytes != 6*400 {
+		t.Fatalf("write bytes %d", mW.DRAMWriteBytes)
+	}
+}
+
+func TestZeroFetchBlocksReuseSurfaces(t *testing.T) {
+	// Blocks with no fetch (full reuse) must not wait on the DRAM link.
+	ops := []BlockOp{
+		{FetchA: 80_000, MACs: 4_000, Internal: 10, Active: 4},
+		{MACs: 4_000, Internal: 10, Active: 4},
+		{MACs: 4_000, Internal: 10, Active: 4},
+	}
+	m, err := Run(testCfg(), ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstFetch := int64(80_000/8) + 10
+	if m.Cycles > firstFetch+3*1_001+100 {
+		t.Fatalf("reused blocks stalled: %d", m.Cycles)
+	}
+}
+
+func TestActiveCoresScaleCompute(t *testing.T) {
+	full := BlockOp{FetchA: 8, MACs: 400_000, Internal: 1, Active: 4}
+	half := full
+	half.Active = 2
+	mF, _ := Run(testCfg(), []BlockOp{full})
+	mH, _ := Run(testCfg(), []BlockOp{half})
+	if mH.Cycles < 2*mF.Cycles-1000 {
+		t.Fatalf("half-active block should take ~2x: %d vs %d", mH.Cycles, mF.Cycles)
+	}
+}
+
+func TestMetricsConversions(t *testing.T) {
+	m := Metrics{Cycles: 1_000_000, MACs: 500_000_000, DRAMReadBytes: 3_000_000, DRAMWriteBytes: 1_000_000}
+	clock := 1e9 // 1 GHz → run took 1 ms
+	if g := m.ThroughputGFLOPS(clock); g < 999 || g > 1001 {
+		t.Fatalf("GFLOPS %v", g)
+	}
+	if bw := m.AvgDRAMBW(clock); bw < 3.99e9 || bw > 4.01e9 {
+		t.Fatalf("BW %v", bw)
+	}
+	var zero Metrics
+	if zero.ThroughputGFLOPS(clock) != 0 || zero.AvgDRAMBW(clock) != 0 {
+		t.Fatal("zero metrics must not divide by zero")
+	}
+}
+
+func TestFromPlatform(t *testing.T) {
+	pl := platform.IntelI9()
+	cfg := FromPlatform(pl, 6)
+	if cfg.Cores != 6 {
+		t.Fatal("cores")
+	}
+	if cfg.MACsPerCoreCycle != 16 {
+		t.Fatalf("MAC rate %v", cfg.MACsPerCoreCycle)
+	}
+	wantExt := 40e9 / 3.7e9
+	if d := cfg.ExtBW - wantExt; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("ext BW %v", cfg.ExtBW)
+	}
+	if cfg.IntBW <= 0 || cfg.DemandOverlap != pl.DemandOverlap {
+		t.Fatal("platform fields not carried over")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitPayload(t *testing.T) {
+	parts := splitPayload(250, 100)
+	if len(parts) != 3 || parts[0] != 100 || parts[2] != 50 {
+		t.Fatalf("parts %v", parts)
+	}
+	if splitPayload(0, 100) != nil {
+		t.Fatal("zero bytes should give no packets")
+	}
+	var sum int64
+	for _, p := range splitPayload(12345, 999) {
+		sum += p
+	}
+	if sum != 12345 {
+		t.Fatal("split loses bytes")
+	}
+}

@@ -1,0 +1,109 @@
+package sim
+
+import "fmt"
+
+// ModuleID names a hardware module in the simulated machine.
+type ModuleID int
+
+// Fixed module identities; core n is CoreBase + n.
+const (
+	ModDRAM ModuleID = iota
+	ModLLC
+	CoreBase // first core; cores occupy [CoreBase, CoreBase+p)
+)
+
+func (m ModuleID) String() string {
+	switch {
+	case m == ModDRAM:
+		return "DRAM"
+	case m == ModLLC:
+		return "LLC"
+	default:
+		return fmt.Sprintf("core%d", int(m-CoreBase))
+	}
+}
+
+// PacketKind classifies a packet's payload.
+type PacketKind uint8
+
+const (
+	PktA      PacketKind = iota // A-surface tile data
+	PktB                        // B-surface tile data
+	PktCWrite                   // completed C results heading to DRAM
+	PktCtl                      // control (block-done notifications)
+)
+
+func (k PacketKind) String() string {
+	switch k {
+	case PktA:
+		return "A"
+	case PktB:
+		return "B"
+	case PktCWrite:
+		return "Cw"
+	default:
+		return "ctl"
+	}
+}
+
+// Packet is the standardised message of Section 6.2: a source route in the
+// header, the tile's index into the computation space and CB block, and the
+// payload size. Packets advance one hop per link traversal.
+type Packet struct {
+	Route []ModuleID // source routing: Route[0] is the origin
+	Hop   int        // index of the module currently holding the packet
+	Kind  PacketKind
+	Block int   // CB block sequence number in the schedule
+	Tile  int   // tile index within the block
+	Bytes int64 // payload size
+}
+
+// Dst returns the packet's final destination.
+func (p *Packet) Dst() ModuleID { return p.Route[len(p.Route)-1] }
+
+// AtDst reports whether the packet has reached its destination.
+func (p *Packet) AtDst() bool { return p.Hop == len(p.Route)-1 }
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt{%s blk=%d tile=%d %dB %v@%d}", p.Kind, p.Block, p.Tile, p.Bytes, p.Route, p.Hop)
+}
+
+// Link is a bandwidth- and latency-constrained point-to-point channel.
+// Transfers serialise: a packet occupies the link for Bytes/bw cycles, and
+// arrives latency cycles after its serialisation completes.
+type Link struct {
+	eng       *Engine
+	bw        float64 // bytes per cycle
+	latency   int64   // cycles
+	busyUntil int64
+
+	BytesCarried int64
+	BusyCycles   int64
+}
+
+// NewLink creates a link. bw must be positive.
+func NewLink(eng *Engine, bytesPerCycle float64, latency int64) *Link {
+	if bytesPerCycle <= 0 {
+		panic(fmt.Sprintf("sim: link bandwidth %v", bytesPerCycle))
+	}
+	return &Link{eng: eng, bw: bytesPerCycle, latency: latency}
+}
+
+// Send schedules deliver(pkt) after the packet serialises over the link,
+// respecting earlier queued transfers. It returns the arrival time.
+func (l *Link) Send(pkt *Packet, deliver func(*Packet)) int64 {
+	start := max(l.eng.Now(), l.busyUntil)
+	ser := int64((float64(pkt.Bytes) + l.bw - 1) / l.bw)
+	if ser < 1 {
+		ser = 1
+	}
+	l.busyUntil = start + ser
+	l.BytesCarried += pkt.Bytes
+	l.BusyCycles += ser
+	arrive := l.busyUntil + l.latency
+	l.eng.At(arrive, func() { deliver(pkt) })
+	return arrive
+}
+
+// FreeAt returns the earliest time a new transfer could start.
+func (l *Link) FreeAt() int64 { return max(l.eng.Now(), l.busyUntil) }

@@ -1,0 +1,143 @@
+package sim
+
+// Scenario sweeps: the paper's Section 6.2 says the simulator's purpose is
+// verifying CB-block behaviour "under various system characteristics (e.g.,
+// low external memory bandwidth)" and "corner cases that are difficult to
+// analyze". These tests sweep extreme machines and assert the invariants
+// that must hold everywhere.
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// floorCycles returns the two lower bounds any run must respect: total
+// compute at perfect parallelism and serialised prefetched DRAM traffic.
+func floorCycles(cfg MachineConfig, ops []BlockOp) (computeFloor, dramFloor int64) {
+	for _, op := range ops {
+		active := op.Active
+		if active < 1 || active > cfg.Cores {
+			active = cfg.Cores
+		}
+		computeFloor += int64(float64(op.MACs) / (float64(active) * cfg.MACsPerCoreCycle))
+		dramFloor += int64(float64(op.FetchA+op.FetchB) / cfg.ExtBW)
+	}
+	return
+}
+
+func scenarioOps(n int) []BlockOp {
+	ops := make([]BlockOp, n)
+	for i := range ops {
+		ops[i] = BlockOp{
+			FetchA: 4 << 10, FetchB: 8 << 10, WriteC: 2 << 10,
+			Internal: 32 << 10, MACs: 200_000, Active: 4,
+		}
+	}
+	return ops
+}
+
+func TestScenarioSweepInvariants(t *testing.T) {
+	ops := scenarioOps(20)
+	for _, tc := range []struct {
+		name string
+		cfg  MachineConfig
+	}{
+		{"balanced", MachineConfig{Cores: 4, MACsPerCoreCycle: 4, ExtBW: 16, IntBW: 128, DemandOverlap: 1}},
+		{"starved-dram", MachineConfig{Cores: 4, MACsPerCoreCycle: 4, ExtBW: 0.25, IntBW: 128, DemandOverlap: 1}},
+		{"starved-llc", MachineConfig{Cores: 4, MACsPerCoreCycle: 4, ExtBW: 16, IntBW: 0.5, DemandOverlap: 1}},
+		{"huge-latency", MachineConfig{Cores: 4, MACsPerCoreCycle: 4, ExtBW: 16, IntBW: 128, ExtLatency: 100000, IntLatency: 5000, DemandOverlap: 1}},
+		{"single-core", MachineConfig{Cores: 1, MACsPerCoreCycle: 1, ExtBW: 1, IntBW: 8, DemandOverlap: 0}},
+		{"fat-machine", MachineConfig{Cores: 64, MACsPerCoreCycle: 32, ExtBW: 1e6, IntBW: 1e7, DemandOverlap: 1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			met, err := Run(tc.cfg, ops)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Termination with full accounting.
+			if met.Blocks != len(ops) {
+				t.Fatalf("blocks %d", met.Blocks)
+			}
+			var wantMACs, wantReads, wantWrites int64
+			for _, op := range ops {
+				wantMACs += op.MACs
+				wantReads += op.FetchA + op.FetchB
+				wantWrites += op.WriteC
+			}
+			if met.MACs != wantMACs || met.DRAMReadBytes != wantReads || met.DRAMWriteBytes != wantWrites {
+				t.Fatalf("conservation broken: %+v", met)
+			}
+			// Lower bounds.
+			computeFloor, dramFloor := floorCycles(tc.cfg, ops)
+			if met.Cycles < computeFloor {
+				t.Fatalf("cycles %d below compute floor %d", met.Cycles, computeFloor)
+			}
+			if met.Cycles < dramFloor {
+				t.Fatalf("cycles %d below DRAM floor %d", met.Cycles, dramFloor)
+			}
+			// Stall accounting is non-negative and bounded by the makespan.
+			if met.StallDRAM < 0 || met.StallInternal < 0 || met.StallDRAM > met.Cycles {
+				t.Fatalf("stall accounting: %+v", met)
+			}
+		})
+	}
+}
+
+func TestScenarioMonotoneInBandwidth(t *testing.T) {
+	// More external bandwidth can never slow the machine.
+	ops := scenarioOps(30)
+	base := MachineConfig{Cores: 4, MACsPerCoreCycle: 2, ExtBW: 0.5, IntBW: 64, DemandOverlap: 1}
+	prev := int64(1 << 62)
+	for _, bw := range []float64{0.5, 1, 2, 8, 64} {
+		cfg := base
+		cfg.ExtBW = bw
+		met, err := Run(cfg, ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if met.Cycles > prev {
+			t.Fatalf("ExtBW=%v slower than lower bandwidth: %d > %d", bw, met.Cycles, prev)
+		}
+		prev = met.Cycles
+	}
+}
+
+func TestScenarioQuickRandomMachines(t *testing.T) {
+	// Property: any positive machine and any block program terminates with
+	// the floors respected.
+	f := func(seed int64) bool {
+		r := uint64(seed)
+		next := func(n int) int { r = r*2862933555777941757 + 3037000493; return int(r>>33)%n + 1 }
+		cfg := MachineConfig{
+			Cores:            next(16),
+			MACsPerCoreCycle: float64(next(32)),
+			ExtBW:            float64(next(64)),
+			IntBW:            float64(next(512)),
+			ExtLatency:       int64(next(500)),
+			IntLatency:       int64(next(50)),
+			DemandOverlap:    float64(next(100)) / 100,
+		}
+		ops := make([]BlockOp, next(12))
+		for i := range ops {
+			ops[i] = BlockOp{
+				FetchA:      int64(next(1 << 16)),
+				FetchB:      int64(next(1 << 16)),
+				WriteC:      int64(next(1 << 14)),
+				DemandRead:  int64(next(1 << 12)),
+				DemandWrite: int64(next(1 << 12)),
+				Internal:    int64(next(1 << 18)),
+				MACs:        int64(next(1 << 20)),
+				Active:      next(cfg.Cores),
+			}
+		}
+		met, err := Run(cfg, ops)
+		if err != nil {
+			return false
+		}
+		computeFloor, dramFloor := floorCycles(cfg, ops)
+		return met.Cycles >= computeFloor && met.Cycles >= dramFloor && met.Blocks == len(ops)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+package sim
+
+import "fmt"
+
+// Tile-level simulation of a single CB block, at the granularity the
+// paper's SystemC simulator models (Section 6.2): every packet carries one
+// tile and its index into the CB block, cores are individual modules, the
+// B surface is broadcast tile-by-tile over the shared internal bus, and
+// partial-C tiles cycle between the cores and the LLC. The coarser
+// block-level machine (machine.go) aggregates these flows; SimulateBlockTiles
+// exists to validate that aggregation — tests check the two agree.
+
+// TileBlock describes one CB block for tile-level simulation.
+type TileBlock struct {
+	P         int     // cores (= A tiles in the block's A surface column)
+	MC        int     // per-core A tile rows (= kc)
+	KC        int     // reduction depth
+	N         int     // block N extent (α·p·mc)
+	MR, NR    int     // register tile
+	ElemBytes int64   // bytes per element
+	MACRate   float64 // per-core MACs/cycle
+}
+
+// Validate reports the first problem with the block description.
+func (b TileBlock) Validate() error {
+	switch {
+	case b.P < 1 || b.MC < 1 || b.KC < 1 || b.N < 1:
+		return fmt.Errorf("sim: invalid tile block %+v", b)
+	case b.MR < 1 || b.NR < 1 || b.ElemBytes < 1 || b.MACRate <= 0:
+		return fmt.Errorf("sim: invalid tile block rates %+v", b)
+	default:
+		return nil
+	}
+}
+
+// TileResult is the outcome of a tile-level block simulation.
+type TileResult struct {
+	Cycles        int64 // time for all cores to finish the block
+	Packets       int64 // packets delivered
+	InternalBytes int64 // bytes over the LLC↔core bus
+	ComputeCycles int64 // per-core pure compute time (tile products)
+}
+
+// tileCore tracks one core module's progress through its strip.
+type tileCore struct {
+	freeAt   int64 // when the core finishes its current tile product
+	haveA    bool
+	done     int // B column tiles consumed
+	cDone    int // partial-C writebacks retired
+	finished int64
+}
+
+// SimulateBlockTiles runs one CB block at tile granularity on a machine
+// with the given internal bus (bytes/cycle) and LLC latency. The flow per
+// Figure 6 / Section 3: each core is first loaded with its A tile; B tiles
+// of kc×nr columns are then streamed in broadcast order; after each tile
+// product the mr×nr partial results cycle back to the LLC. The returned
+// makespan is when the slowest core retires its last accumulate.
+func SimulateBlockTiles(b TileBlock, intBW float64, latency int64) (TileResult, error) {
+	if err := b.Validate(); err != nil {
+		return TileResult{}, err
+	}
+	if intBW <= 0 {
+		return TileResult{}, fmt.Errorf("sim: internal bandwidth %v", intBW)
+	}
+	eng := NewEngine()
+	bus := NewLink(eng, intBW, latency)
+	cores := make([]*tileCore, b.P)
+	for i := range cores {
+		cores[i] = &tileCore{}
+	}
+	var res TileResult
+
+	// One tile product: an (mc×kc)·(kc×nr) panel product per B column tile,
+	// i.e. mc·nr·kc MACs, taking mc·nr·kc/MACRate cycles.
+	tileMACs := float64(b.MC) * float64(b.NR) * float64(b.KC)
+	tileCycles := int64(tileMACs/b.MACRate) + 1
+	nTiles := ceilDiv(b.N, b.NR) // B column tiles each core consumes
+
+	aBytes := int64(b.MC) * int64(b.KC) * b.ElemBytes
+	bBytes := int64(b.KC) * int64(b.NR) * b.ElemBytes
+	cBytes := int64(b.MC) * int64(b.NR) * b.ElemBytes // per-core C slab per tile
+
+	// Load phase: each core's stationary A tile (Section 3: "the CB block
+	// is shaped to have exactly one A tile per core").
+	for i := range cores {
+		core := cores[i]
+		pkt := &Packet{Route: []ModuleID{ModLLC, CoreBase + ModuleID(i)}, Kind: PktA, Tile: i, Bytes: aBytes}
+		res.Packets++
+		res.InternalBytes += aBytes
+		bus.Send(pkt, func(*Packet) { core.haveA = true })
+	}
+
+	// Stream phase: B tiles broadcast to all cores; every core computes one
+	// tile product per B tile and cycles its partial C through the LLC.
+	// The broadcast bus carries each B tile once (all cores snoop it) plus
+	// the per-core C read-modify-write traffic.
+	for t := 0; t < nTiles; t++ {
+		tile := t
+		pkt := &Packet{Route: []ModuleID{ModLLC, CoreBase}, Kind: PktB, Tile: tile, Bytes: bBytes}
+		res.Packets++
+		res.InternalBytes += bBytes
+		bus.Send(pkt, func(p *Packet) {
+			for i := range cores {
+				core := cores[i]
+				start := max(eng.Now(), core.freeAt)
+				core.freeAt = start + tileCycles
+				core.done++
+				// Partial C cycles back to local memory after the product
+				// (2× for read+write of the accumulate).
+				cpkt := &Packet{Route: []ModuleID{CoreBase + ModuleID(i), ModLLC}, Kind: PktCWrite, Tile: tile, Bytes: 2 * cBytes}
+				res.Packets++
+				res.InternalBytes += 2 * cBytes
+				eng.At(core.freeAt, func() {
+					bus.Send(cpkt, func(*Packet) {
+						core.cDone++
+						if core.cDone == nTiles {
+							core.finished = eng.Now()
+						}
+					})
+				})
+			}
+		})
+	}
+	eng.Run()
+
+	for _, c := range cores {
+		if !c.haveA || c.done != nTiles {
+			return TileResult{}, fmt.Errorf("sim: core did not complete (%+v)", c)
+		}
+		if c.finished > res.Cycles {
+			res.Cycles = c.finished
+		}
+	}
+	res.ComputeCycles = int64(nTiles) * tileCycles
+	return res, nil
+}
+
+// BlockLevelEstimate returns the coarse machine model's duration for the
+// same block: max(compute, internal-transfer) with the same traffic
+// accounting, for cross-validation against SimulateBlockTiles.
+func BlockLevelEstimate(b TileBlock, intBW float64) (cycles int64, internalBytes int64) {
+	nTiles := ceilDiv(b.N, b.NR)
+	tileMACs := float64(b.MC) * float64(b.NR) * float64(b.KC)
+	compute := int64(float64(nTiles)*tileMACs/b.MACRate) + 1
+
+	aBytes := int64(b.P) * int64(b.MC) * int64(b.KC) * b.ElemBytes
+	bBytes := int64(nTiles) * int64(b.KC) * int64(b.NR) * b.ElemBytes
+	cBytes := int64(b.P) * int64(nTiles) * 2 * int64(b.MC) * int64(b.NR) * b.ElemBytes
+	internalBytes = aBytes + bBytes + cBytes
+	transfer := int64(float64(internalBytes)/intBW) + 1
+	return max(compute, transfer), internalBytes
+}

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testBlock() TileBlock {
+	return TileBlock{
+		P: 4, MC: 32, KC: 32, N: 128,
+		MR: 8, NR: 8, ElemBytes: 4, MACRate: 8,
+	}
+}
+
+func TestTileBlockValidate(t *testing.T) {
+	if err := testBlock().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, mut := range []func(*TileBlock){
+		func(b *TileBlock) { b.P = 0 },
+		func(b *TileBlock) { b.MC = 0 },
+		func(b *TileBlock) { b.N = 0 },
+		func(b *TileBlock) { b.MACRate = 0 },
+		func(b *TileBlock) { b.ElemBytes = 0 },
+	} {
+		b := testBlock()
+		mut(&b)
+		if b.Validate() == nil {
+			t.Fatalf("accepted %+v", b)
+		}
+	}
+}
+
+func TestSimulateBlockTilesComputeBound(t *testing.T) {
+	// Huge internal bandwidth: the block finishes in ~compute time.
+	b := testBlock()
+	res, err := SimulateBlockTiles(b, 1e6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles < res.ComputeCycles {
+		t.Fatalf("makespan %d below compute floor %d", res.Cycles, res.ComputeCycles)
+	}
+	if res.Cycles > res.ComputeCycles*12/10 {
+		t.Fatalf("compute-bound block took %d vs compute %d", res.Cycles, res.ComputeCycles)
+	}
+	// Packet accounting: p A tiles + nTiles B broadcasts + p·nTiles C cycles.
+	nTiles := int64((b.N + b.NR - 1) / b.NR)
+	want := int64(b.P) + nTiles + int64(b.P)*nTiles
+	if res.Packets != want {
+		t.Fatalf("packets %d want %d", res.Packets, want)
+	}
+}
+
+func TestSimulateBlockTilesBandwidthBound(t *testing.T) {
+	// Starved bus: the makespan approaches the serialised transfer time and
+	// exceeds compute.
+	b := testBlock()
+	res, err := SimulateBlockTiles(b, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= res.ComputeCycles*2 {
+		t.Fatalf("bandwidth-starved block finished too fast: %d vs compute %d", res.Cycles, res.ComputeCycles)
+	}
+	if res.Cycles < res.InternalBytes {
+		t.Fatalf("makespan %d below serialisation floor %d", res.Cycles, res.InternalBytes)
+	}
+}
+
+func TestSimulateBlockTilesInvalid(t *testing.T) {
+	if _, err := SimulateBlockTiles(TileBlock{}, 10, 1); err == nil {
+		t.Fatal("invalid block accepted")
+	}
+	if _, err := SimulateBlockTiles(testBlock(), 0, 1); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+}
+
+func TestTileLevelValidatesBlockLevel(t *testing.T) {
+	// The whole point of the tile simulator: the coarse block-level model's
+	// duration must agree with the detailed per-tile packet simulation
+	// within a modest tolerance, in both compute-bound and bandwidth-bound
+	// regimes.
+	for _, bw := range []float64{2, 8, 64, 1024} {
+		b := testBlock()
+		fine, err := SimulateBlockTiles(b, bw, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coarse, coarseBytes := BlockLevelEstimate(b, bw)
+		if coarseBytes != fine.InternalBytes {
+			t.Fatalf("bw=%v: traffic accounting differs: %d vs %d", bw, coarseBytes, fine.InternalBytes)
+		}
+		ratio := float64(fine.Cycles) / float64(coarse)
+		if ratio < 0.8 || ratio > 1.35 {
+			t.Fatalf("bw=%v: tile-level %d vs block-level %d (ratio %.2f)", bw, fine.Cycles, coarse, ratio)
+		}
+	}
+}
+
+func TestTileLevelAgreementQuick(t *testing.T) {
+	// Property over random block shapes: the coarse max(compute, transfer)
+	// model is exact at the regime extremes (checked tightly above) and
+	// within 2× in the transition zone, where the tile-level pipeline adds
+	// non-overlapped tail latency the max() cannot see; it must never
+	// overestimate by more than the packet rounding.
+	f := func(seed int64) bool {
+		r := uint64(seed)
+		next := func(n int) int { r = r*6364136223846793005 + 1; return int(r>>33) % n }
+		b := TileBlock{
+			P:  1 + next(6),
+			MC: 8 * (1 + next(6)),
+			KC: 8 * (1 + next(6)),
+			N:  8 * (1 + next(24)),
+			MR: 8, NR: 8, ElemBytes: 4,
+			MACRate: float64(1 + next(16)),
+		}
+		bw := float64(1 + next(256))
+		fine, err := SimulateBlockTiles(b, bw, 1)
+		if err != nil {
+			return false
+		}
+		coarse, _ := BlockLevelEstimate(b, bw)
+		ratio := float64(fine.Cycles) / float64(coarse)
+		return ratio >= 0.5 && ratio <= 2.05 && fine.Cycles >= fine.ComputeCycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

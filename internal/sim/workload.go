@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/schedule"
+)
+
+// CakeWorkload describes a CAKE execution to be simulated.
+type CakeWorkload struct {
+	P         int     // cores
+	MC        int     // per-core block side (kc = KC below)
+	KC        int     // reduction depth per block
+	Alpha     float64 // CB aspect factor
+	MR, NR    int     // register tile
+	ElemBytes int
+}
+
+// CakeOps compiles an M×K×N CAKE GEMM into the simulator's block program:
+// the K-first schedule of Algorithm 2 with per-transition surface reuse
+// (inputs reused across adjacent blocks, partial C resident until its
+// reduction completes, completed C written back exactly once).
+func CakeOps(w CakeWorkload, m, k, n int) ([]BlockOp, error) {
+	if w.P < 1 || w.MC < 1 || w.KC < 1 || w.Alpha < 1 || w.MR < 1 || w.NR < 1 || w.ElemBytes < 1 {
+		return nil, fmt.Errorf("sim: invalid CAKE workload %+v", w)
+	}
+	if m < 1 || k < 1 || n < 1 {
+		return nil, fmt.Errorf("sim: invalid dims %dx%dx%d", m, k, n)
+	}
+	bm := w.P * w.MC
+	bk := w.KC
+	bn := int(w.Alpha * float64(bm))
+	grid := schedule.Dims{Mb: ceilDiv(m, bm), Nb: ceilDiv(n, bn), Kb: ceilDiv(k, bk)}
+	seq := schedule.KFirst(grid, schedule.OrderFor(m, n))
+
+	e := int64(w.ElemBytes)
+	ops := make([]BlockOp, 0, len(seq))
+	for i, cur := range seq {
+		mEff := clipExtent(cur.M, bm, m)
+		kEff := clipExtent(cur.K, bk, k)
+		nEff := clipExtent(cur.N, bn, n)
+
+		aShared, bShared := false, false
+		if i > 0 {
+			aShared, bShared, _ = schedule.Shared(seq[i-1], cur)
+		}
+		runEnd := i == len(seq)-1 || seq[i+1].M != cur.M || seq[i+1].N != cur.N
+
+		op := BlockOp{
+			MACs:   int64(mEff) * int64(kEff) * int64(nEff),
+			Active: min(w.P, ceilDiv(mEff, w.MC)),
+			// Section 4.3 residency demand: this block's C surface plus two
+			// generations of A and B inputs (double buffering).
+			Footprint: (int64(mEff)*int64(nEff) + 2*(int64(mEff)*int64(kEff)+int64(kEff)*int64(nEff))) * e,
+		}
+		if !aShared {
+			op.FetchA = int64(mEff) * int64(kEff) * e
+		}
+		if !bShared {
+			op.FetchB = int64(kEff) * int64(nEff) * e
+		}
+		if runEnd {
+			op.WriteC = int64(mEff) * int64(nEff) * e
+		}
+		op.Internal = kernelLLCBytes(mEff, kEff, nEff, w.MR, e)
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+// GotoWorkload describes a GOTO execution to be simulated.
+type GotoWorkload struct {
+	P         int // cores parallelising the ic loop
+	MC        int // = kc, square per-core A block (L2-sized)
+	KC        int
+	NC        int // B panel width (LLC-sized)
+	MR, NR    int
+	ElemBytes int
+}
+
+// GotoOps compiles an M×K×N GOTO GEMM into a block program following the
+// five-loop schedule of Figure 5. Each op is one round of p cores working
+// on consecutive ic blocks. The defining external-IO behaviour of Section
+// 4.1 falls out of the compilation: the B panel is fetched once per
+// (jc, pc), A blocks once per (jc, pc, ic), and the partial C slab streams
+// to DRAM every round — and back in again on every pc iteration after the
+// first.
+func GotoOps(w GotoWorkload, m, k, n int) ([]BlockOp, error) {
+	if w.P < 1 || w.MC < 1 || w.KC < 1 || w.NC < 1 || w.MR < 1 || w.NR < 1 || w.ElemBytes < 1 {
+		return nil, fmt.Errorf("sim: invalid GOTO workload %+v", w)
+	}
+	if m < 1 || k < 1 || n < 1 {
+		return nil, fmt.Errorf("sim: invalid dims %dx%dx%d", m, k, n)
+	}
+	e := int64(w.ElemBytes)
+	var ops []BlockOp
+	for jc := 0; jc < n; jc += w.NC {
+		ncEff := min(w.NC, n-jc)
+		for pc := 0; pc < k; pc += w.KC {
+			kcEff := min(w.KC, k-pc)
+			first := true
+			for ic := 0; ic < m; ic += w.P * w.MC {
+				rows := min(w.P*w.MC, m-ic)
+				active := ceilDiv(rows, w.MC)
+				op := BlockOp{
+					MACs:   int64(rows) * int64(kcEff) * int64(ncEff),
+					Active: active,
+					FetchA: int64(rows) * int64(kcEff) * e,
+					// The partial C slab is demand traffic: it streams out
+					// on every round, and back in for accumulation on every
+					// pc iteration after the first, interleaved with the
+					// kernel rather than prefetched.
+					DemandWrite: int64(rows) * int64(ncEff) * e,
+				}
+				if first {
+					op.FetchB = int64(kcEff) * int64(ncEff) * e
+					first = false
+				}
+				if pc > 0 {
+					op.DemandRead = int64(rows) * int64(ncEff) * e
+				}
+				op.Internal = kernelLLCBytes(rows, kcEff, ncEff, w.MR, e)
+				ops = append(ops, op)
+			}
+		}
+	}
+	return ops, nil
+}
+
+// kernelLLCBytes returns the LLC↔core traffic the tiled kernel induces for
+// an mEff×kEff×nEff slab: the B panel streams from the LLC once per mr-row
+// panel of A (the macro-kernel sweep), the C slab is read and written once,
+// and each A element enters a core's private cache once. This kernel-level
+// accounting is what makes internal bandwidth the binding constraint at
+// high core counts (Equation 6, Figures 10c/11c).
+func kernelLLCBytes(mEff, kEff, nEff, mr int, elemBytes int64) int64 {
+	bTraffic := int64(ceilDiv(mEff, mr)) * int64(kEff) * int64(nEff)
+	cTraffic := 2 * int64(mEff) * int64(nEff)
+	aTraffic := int64(mEff) * int64(kEff)
+	return (bTraffic + cTraffic + aTraffic) * elemBytes
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// clipExtent returns the extent of block idx after clipping to the problem.
+func clipExtent(idx, block, total int) int {
+	return min(block, total-idx*block)
+}

@@ -1,0 +1,181 @@
+package tenant
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func jobs3() []Job {
+	return []Job{
+		{Name: "big", M: 4096, K: 4096, N: 4096},
+		{Name: "mid", M: 2048, K: 2048, N: 2048},
+		{Name: "small", M: 1024, K: 1024, N: 1024},
+	}
+}
+
+func TestPlanTenantsPartition(t *testing.T) {
+	pl := platform.IntelI9()
+	plan, err := PlanTenants(pl, jobs3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Assignments) != 3 {
+		t.Fatalf("assignments %d", len(plan.Assignments))
+	}
+	var cores int
+	var llc int64
+	var bw float64
+	for _, as := range plan.Assignments {
+		if as.Cores < 1 {
+			t.Fatalf("%s got %d cores", as.Job.Name, as.Cores)
+		}
+		if err := as.Config.Validate(); err != nil {
+			t.Fatalf("%s config: %v", as.Job.Name, err)
+		}
+		// Each tenant's CB block must fit its LLC partition.
+		if mem := as.Config.Shape().LocalMemElems() * 4; mem > float64(as.LLCBytes) {
+			t.Fatalf("%s block %v bytes exceeds partition %d", as.Job.Name, mem, as.LLCBytes)
+		}
+		cores += as.Cores
+		llc += as.LLCBytes
+		bw += as.DRAMBW
+	}
+	if cores != pl.Cores {
+		t.Fatalf("cores allocated %d of %d", cores, pl.Cores)
+	}
+	if llc > pl.LLCBytes {
+		t.Fatalf("LLC over-allocated: %d > %d", llc, pl.LLCBytes)
+	}
+	if bw > pl.DRAMBW*1.001 {
+		t.Fatalf("bandwidth over-allocated: %v > %v", bw, pl.DRAMBW)
+	}
+	// The big job must get the most cores.
+	if plan.Assignments[0].Cores <= plan.Assignments[2].Cores {
+		t.Fatalf("core split ignores volume: %d vs %d",
+			plan.Assignments[0].Cores, plan.Assignments[2].Cores)
+	}
+}
+
+func TestPlanTenantsErrors(t *testing.T) {
+	pl := platform.ARMCortexA53() // 4 cores
+	if _, err := PlanTenants(pl, nil); err == nil {
+		t.Fatal("no jobs accepted")
+	}
+	five := make([]Job, 5)
+	for i := range five {
+		five[i] = Job{Name: "j", M: 64, K: 64, N: 64}
+	}
+	if _, err := PlanTenants(pl, five); err == nil {
+		t.Fatal("more jobs than cores accepted")
+	}
+	bad := *pl
+	bad.Cores = 0
+	if _, err := PlanTenants(&bad, jobs3()[:1]); err == nil {
+		t.Fatal("invalid platform accepted")
+	}
+}
+
+func TestSimulateNoInterference(t *testing.T) {
+	// The Section 6.1 payoff: with CB-provisioned static partitions, every
+	// tenant runs at nearly its isolated throughput — no search, no
+	// interference.
+	pl := platform.IntelI9()
+	plan, err := PlanTenants(pl, jobs3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := Simulate(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.GFLOPS <= 0 {
+			t.Fatalf("%s: no throughput", r.Job.Name)
+		}
+		if s := r.Share(); s < 0.85 {
+			t.Fatalf("%s: co-run at %.0f%% of isolated (%.1f vs %.1f GFLOP/s)",
+				r.Job.Name, 100*s, r.GFLOPS, r.Isolated)
+		}
+	}
+}
+
+func TestSimulateWorkConservation(t *testing.T) {
+	pl := platform.AMDRyzen9()
+	plan, err := PlanTenants(pl, jobs3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := Simulate(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		want := jobs3()[i]
+		if r.Metrics.MACs != int64(want.M)*int64(want.K)*int64(want.N) {
+			t.Fatalf("%s: MACs %d", want.Name, r.Metrics.MACs)
+		}
+	}
+}
+
+func TestSplitProportional(t *testing.T) {
+	jobs := []Job{
+		{M: 100, K: 100, N: 100}, // 1e6
+		{M: 100, K: 100, N: 100}, // 1e6
+	}
+	c := splitProportional(10, jobs)
+	if c[0]+c[1] != 10 || c[0] != 5 {
+		t.Fatalf("even split: %v", c)
+	}
+	skew := []Job{
+		{M: 400, K: 400, N: 400},
+		{M: 10, K: 10, N: 10},
+	}
+	c = splitProportional(8, skew)
+	if c[0]+c[1] != 8 || c[1] != 1 || c[0] != 7 {
+		t.Fatalf("skewed split: %v", c)
+	}
+	// Floor of 1 even for vanishing jobs.
+	tiny := []Job{{M: 1000, K: 1000, N: 1000}, {M: 1, K: 1, N: 1}, {M: 1, K: 1, N: 1}}
+	c = splitProportional(4, tiny)
+	if c[0]+c[1]+c[2] != 4 || c[1] < 1 || c[2] < 1 {
+		t.Fatalf("floor split: %v", c)
+	}
+}
+
+func TestTenantResultShareZeroSafe(t *testing.T) {
+	var r TenantResult
+	if r.Share() != 0 {
+		t.Fatal("zero-value share")
+	}
+}
+
+func TestPlanTenantsBandwidthExceeded(t *testing.T) {
+	pl := platform.IntelI9()
+	pl.DRAMBW = 1e9 // 1 GB/s cannot host three tenants' Eq.4 demands
+	if _, err := PlanTenants(pl, jobs3()); err == nil {
+		t.Fatal("infeasible bandwidth accepted")
+	}
+}
+
+func TestPlanTenantsSingleJobGetsEverything(t *testing.T) {
+	pl := platform.AMDRyzen9()
+	plan, err := PlanTenants(pl, jobs3()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := plan.Assignments[0]
+	if as.Cores != pl.Cores {
+		t.Fatalf("single tenant got %d of %d cores", as.Cores, pl.Cores)
+	}
+	if as.LLCBytes != pl.LLCBytes {
+		t.Fatalf("single tenant got %d of %d LLC bytes", as.LLCBytes, pl.LLCBytes)
+	}
+	res, err := Simulate(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := res[0].Share(); s < 0.95 {
+		t.Fatalf("single tenant share %v", s)
+	}
+}
