@@ -464,7 +464,7 @@ func BenchmarkAblationKernel(b *testing.B) {
 			bb := matrix.New[float32](kc, n)
 			a.Randomize(rng)
 			bb.Randomize(rng)
-			ap := packing.PackA(make([]float32, packing.PackedASize(m, kc, k.MR)), a, k.MR)
+			ap := packing.PackA(make([]float32, packing.PackedASize(m, kc, k.MR)), a, k.MR, 1)
 			bp := packing.PackB(make([]float32, packing.PackedBSize(kc, n, k.NR)), bb, k.NR)
 			c := matrix.New[float32](m, n)
 			scratch := kernel.NewScratch[float32](k.MR, k.NR)

@@ -56,6 +56,21 @@ type Executor[T Scalar] = core.Executor[T]
 // Stats summarises one CAKE execution.
 type Stats = core.Stats
 
+// ExecutorOption tunes an Executor at construction time.
+type ExecutorOption = core.Option
+
+// WithPipeline enables (default) or disables the software pipeline that
+// overlaps packing of the next CB block with compute of the current one and
+// reuses packed panels shared between scheduled blocks. Disable it to get
+// the strictly synchronous pack→compute executor.
+func WithPipeline(on bool) ExecutorOption { return core.WithPipeline(on) }
+
+// WithPanelCache keeps up to slots packed panels per operand resident, so a
+// schedule that revisits a panel (the K-first snake does, on every M or N
+// step) skips the repack. Implies pipelining; slots below 2 are raised to
+// the double-buffering minimum.
+func WithPanelCache(slots int) ExecutorOption { return core.WithPanelCache(slots) }
+
 // Compute dimensions (Section 3): N is the paper's primary formulation.
 const (
 	DimN = core.DimN
@@ -92,8 +107,8 @@ func Plan[T Scalar](pl *Platform, m, k, n int) (Config, error) {
 }
 
 // NewExecutor prepares a reusable CAKE executor for cfg.
-func NewExecutor[T Scalar](cfg Config) (*Executor[T], error) {
-	return core.NewExecutor[T](cfg, nil)
+func NewExecutor[T Scalar](cfg Config, opts ...ExecutorOption) (*Executor[T], error) {
+	return core.NewExecutor[T](cfg, nil, opts...)
 }
 
 // Gemm computes C += A×B with CAKE, planning for the host automatically.
@@ -156,8 +171,8 @@ func GotoGemm[T Scalar](c, a, b *Matrix[T], cfg GotoConfig) (GotoStats, error) {
 func NewPool(workers int) *pool.Pool { return pool.New(workers) }
 
 // NewExecutorWithPool prepares an executor on a shared pool.
-func NewExecutorWithPool[T Scalar](cfg Config, p *pool.Pool) (*Executor[T], error) {
-	return core.NewExecutor[T](cfg, p)
+func NewExecutorWithPool[T Scalar](cfg Config, p *pool.Pool, opts ...ExecutorOption) (*Executor[T], error) {
+	return core.NewExecutor[T](cfg, p, opts...)
 }
 
 func elemSize[T Scalar](v T) int {

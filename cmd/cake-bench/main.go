@@ -4,20 +4,25 @@
 //
 // Usage:
 //
-//	cake-bench [flags] table2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|all
+//	cake-bench [flags] table2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|packshare|gemm|tenant|all
 //
 // Flags:
 //
 //	-quick    scale problem sizes down (~10x faster, same curve shapes)
 //	-csv DIR  also write each panel as CSV under DIR
+//
+// The gemm target compares the synchronous and pipelined executors on real
+// host GEMMs and writes machine-readable BENCH_gemm.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"repro/internal/experiments"
@@ -41,7 +46,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cake-bench [-quick] [-csv DIR] table2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|packshare|tenant|all")
+	fmt.Fprintln(os.Stderr, "usage: cake-bench [-quick] [-csv DIR] table2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|packshare|gemm|tenant|all")
 }
 
 func run(target string, quick bool, csvDir string, w io.Writer) error {
@@ -49,6 +54,7 @@ func run(target string, quick bool, csvDir string, w io.Writer) error {
 		"table2":    table2,
 		"fig4":      fig4,
 		"packshare": packshare,
+		"gemm":      gemmBench,
 		"tenant":    tenants,
 		"fig7":      fig7,
 		"fig8":      fig8,
@@ -58,7 +64,7 @@ func run(target string, quick bool, csvDir string, w io.Writer) error {
 		"fig12":     func(q bool, d string, w io.Writer) error { return trio(platform.AMDRyzen9(), "fig12", q, d, w) },
 	}
 	if target == "all" {
-		for _, name := range []string{"table2", "fig4", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "packshare", "tenant"} {
+		for _, name := range []string{"table2", "fig4", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "packshare", "gemm", "tenant"} {
 			if err := targets[name](quick, csvDir, w); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -87,6 +93,40 @@ func packshare(_ bool, _ string, w io.Writer) error {
 	}
 	fmt.Fprintln(w)
 	return nil
+}
+
+// gemmBench compares the synchronous and pipelined executors on real host
+// GEMMs (square and skewed small-M shape classes) and writes the rows as
+// machine-readable BENCH_gemm.json — into csvDir when given, else the
+// current directory.
+func gemmBench(quick bool, csvDir string, w io.Writer) error {
+	rows, err := experiments.GemmBench(runtime.GOMAXPROCS(0), quick)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "== gemm: sync vs pipelined executor on this host ==")
+	fmt.Fprintf(w, "%-16s %-16s %-9s %-7s %-12s %-12s %-8s\n",
+		"shape", "mode", "GFLOP/s", "pack%", "reused A", "reused B", "vs sync")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %-16s %-9.2f %-7.1f %-12d %-12d %.2fx\n",
+			r.Shape, r.Mode, r.GFLOPS, 100*r.PackShare, r.ReusedAElems, r.ReusedBElems, r.SpeedupVsSync)
+	}
+	fmt.Fprintln(w)
+	path := "BENCH_gemm.json"
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		path = filepath.Join(csvDir, path)
+	}
+	data, err := json.MarshalIndent(struct {
+		Cores int                        `json:"cores"`
+		Rows  []experiments.GemmBenchRow `json:"rows"`
+	}{runtime.GOMAXPROCS(0), rows}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // tenants runs the Section 6.1 multi-tenant partition on the Intel model.

@@ -21,6 +21,29 @@ func TestRunTable2AndFig4(t *testing.T) {
 	}
 }
 
+func TestRunGemmWritesJSON(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run("gemm", true, dir, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"sync", "pipelined", "pipelined+cache", "skewed-small-M", "vs sync"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("gemm table missing %q in %q", want, out)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_gemm.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"gflops"`, `"pack_share"`, `"reused_a_elems"`, `"speedup_vs_sync"`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("BENCH_gemm.json missing %s", want)
+		}
+	}
+}
+
 func TestRunUnknownTarget(t *testing.T) {
 	if err := run("fig99", true, "", &bytes.Buffer{}); err == nil {
 		t.Fatal("unknown target accepted")

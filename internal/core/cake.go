@@ -16,14 +16,18 @@ type Stats struct {
 	Grid         schedule.Dims  // CB block grid
 	Order        schedule.Order // resolved schedule order
 	Blocks       int            // blocks executed
+	Pipelined    bool           // executed by the double-buffered pipeline
 	PackedAElems int64          // elements packed from A
 	PackedBElems int64          // elements packed from B
+	ReusedAElems int64          // A elements served from an already-packed panel
+	ReusedBElems int64          // B elements served from an already-packed panel
 	UnpackCElems int64          // elements accumulated back into C
 
 	// Phase timings (Section 5.2.1: packing overhead is included in all of
 	// the paper's measurements and can dominate for skewed shapes).
 	PackNanos    int64 // packing A and B, zeroing and unpacking C
 	ComputeNanos int64 // macro-kernel execution
+	OverlapNanos int64 // wall time pack jobs ran concurrently with compute
 }
 
 // PackShare returns the fraction of measured time spent moving data
@@ -36,18 +40,56 @@ func (s Stats) PackShare() float64 {
 	return float64(s.PackNanos) / float64(total)
 }
 
+// Option adjusts executor behaviour beyond the numeric Config.
+type Option func(*execOptions)
+
+type execOptions struct {
+	pipeline   bool
+	panelSlots int
+}
+
+// WithPipeline enables or disables the double-buffered pack/compute
+// pipeline (enabled by default). Disabling it restores the strictly
+// synchronous pack → barrier → compute executor — useful as the baseline of
+// an A/B comparison.
+func WithPipeline(on bool) Option { return func(o *execOptions) { o.pipeline = on } }
+
+// WithPanelCache sets how many packed panels per operand the pipelined
+// executor keeps resident (minimum 2, the ping-pong pair). Extra slots form
+// a bounded cache of recently packed panels that the K-first schedule can
+// hit when it revisits an A or B panel on small block grids. Ignored when
+// pipelining is disabled.
+func WithPanelCache(slots int) Option {
+	return func(o *execOptions) {
+		if slots > o.panelSlots {
+			o.panelSlots = slots
+		}
+	}
+}
+
 // Executor runs CAKE GEMMs with a fixed configuration, reusing its worker
 // pool and packing buffers across calls (the drop-in-library usage of
 // Section 5: one executor per process, many multiplications).
 type Executor[T matrix.Scalar] struct {
-	cfg     Config
-	kern    kernel.Kernel[T]
-	pool    *pool.Pool
-	ownPool bool
-	scratch []*kernel.Scratch[T]
+	cfg      Config
+	kern     kernel.Kernel[T]
+	pool     *pool.Pool
+	ownPool  bool
+	pipeline bool
+	slots    int // packing-buffer slots per operand (1 sync, ≥2 pipelined)
+	scratch  []*kernel.Scratch[T]
 
-	bufA, bufB, bufC []T
-	partials         [][]T // DimK: per-core private partial-C surfaces
+	// Packing buffers, one ring of slots per operand. The synchronous path
+	// uses slot 0 only; the pipeline ping-pongs across slots and tracks the
+	// logical panel each slot holds so repacks of a revisited panel can be
+	// skipped (keys are per-call, see panelKey).
+	packA, packB [][]T
+	aKeys, bKeys []panelKey
+	aTick, bTick []int64
+	clock        int64
+
+	bufC     []T
+	partials [][]T // DimK: per-core private partial-C surfaces
 
 	// Per-call operand orientation and scaling (set by GemmScaled for the
 	// duration of one multiplication; the executor is not safe for
@@ -59,11 +101,19 @@ type Executor[T matrix.Scalar] struct {
 // NewExecutor validates cfg and prepares an executor. If p is nil the
 // executor creates (and owns) a pool with cfg.Cores workers; otherwise p
 // must have at least cfg.Cores workers.
-func NewExecutor[T matrix.Scalar](cfg Config, p *pool.Pool) (*Executor[T], error) {
+func NewExecutor[T matrix.Scalar](cfg Config, p *pool.Pool, opts ...Option) (*Executor[T], error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	e := &Executor[T]{cfg: cfg, kern: kernel.Best[T](cfg.MR, cfg.NR)}
+	o := execOptions{pipeline: true, panelSlots: 2}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	e := &Executor[T]{cfg: cfg, kern: kernel.Best[T](cfg.MR, cfg.NR), pipeline: o.pipeline}
+	e.slots = 1
+	if e.pipeline {
+		e.slots = max(2, o.panelSlots)
+	}
 	if p == nil {
 		e.pool = pool.New(cfg.Cores)
 		e.ownPool = true
@@ -146,7 +196,11 @@ func (e *Executor[T]) GemmScaled(c, a, b *matrix.Matrix[T], transA, transB bool,
 	seq := schedule.KFirst(grid, order)
 	e.grow(m, k, n)
 
-	st := Stats{Grid: grid, Order: order, Blocks: len(seq)}
+	st := Stats{Grid: grid, Order: order, Blocks: len(seq), Pipelined: e.pipeline}
+	if e.pipeline {
+		e.runPipelined(c, a, b, seq, &st, m, k, n)
+		return st, nil
+	}
 	bm, bk, bn := e.cfg.BlockDims()
 	for i, cur := range seq {
 		m0, mEff := span(cur.M, bm, m)
@@ -209,16 +263,28 @@ func (e *Executor[T]) grow(m, k, n int) {
 		needB = packing.PackedBSize(bk, bn, e.cfg.NR)
 	}
 	needC := bm * bn
-	if cap(e.bufA) < needA {
-		e.bufA = make([]T, needA)
+	if len(e.packA) != e.slots {
+		e.packA = make([][]T, e.slots)
+		e.packB = make([][]T, e.slots)
+		e.aKeys = make([]panelKey, e.slots)
+		e.bKeys = make([]panelKey, e.slots)
+		e.aTick = make([]int64, e.slots)
+		e.bTick = make([]int64, e.slots)
 	}
-	if cap(e.bufB) < needB {
-		e.bufB = make([]T, needB)
+	for s := 0; s < e.slots; s++ {
+		if cap(e.packA[s]) < needA {
+			e.packA[s] = make([]T, needA)
+		}
+		if cap(e.packB[s]) < needB {
+			e.packB[s] = make([]T, needB)
+		}
+		e.packA[s] = e.packA[s][:cap(e.packA[s])]
+		e.packB[s] = e.packB[s][:cap(e.packB[s])]
 	}
 	if cap(e.bufC) < needC {
 		e.bufC = make([]T, needC)
 	}
-	e.bufA, e.bufB, e.bufC = e.bufA[:cap(e.bufA)], e.bufB[:cap(e.bufB)], e.bufC[:cap(e.bufC)]
+	e.bufC = e.bufC[:cap(e.bufC)]
 	if e.cfg.Dim == DimK {
 		if len(e.partials) != e.cfg.Cores {
 			e.partials = make([][]T, e.cfg.Cores)
@@ -233,20 +299,13 @@ func (e *Executor[T]) grow(m, k, n int) {
 }
 
 // packASlice packs rows [m0, m0+rows) × depth [k0, k0+depth) of the logical
-// A into dst, honouring the per-call transpose flag.
+// A into dst, honouring the per-call transpose flag. α is folded into the
+// packing pass itself, so scaled GEMMs touch the panel once.
 func (e *Executor[T]) packASlice(dst []T, a *matrix.Matrix[T], m0, rows, k0, depth int) []T {
-	var packed []T
 	if e.transA {
-		packed = packing.PackAT(dst, a.View(k0, m0, depth, rows), e.cfg.MR)
-	} else {
-		packed = packing.PackA(dst, a.View(m0, k0, rows, depth), e.cfg.MR)
+		return packing.PackAT(dst, a.View(k0, m0, depth, rows), e.cfg.MR, e.alpha)
 	}
-	if e.alpha != 1 {
-		for i := range packed {
-			packed[i] *= e.alpha
-		}
-	}
-	return packed
+	return packing.PackA(dst, a.View(m0, k0, rows, depth), e.cfg.MR, e.alpha)
 }
 
 // packBSlice packs depth [k0, k0+depth) × cols [n0, n0+cols) of the logical
@@ -305,17 +364,17 @@ func (e *Executor[T]) blockDimN(a, b, cBlock *matrix.Matrix[T], st *Stats, m0, m
 	e.pool.ForStatic(strips, func(_, s int) {
 		r0 := s * mc
 		rows := min(mc, mEff-r0)
-		e.packASlice(e.bufA[r0*kEff:], a, m0+r0, rows, k0, kEff)
+		e.packASlice(e.packA[0][r0*kEff:], a, m0+r0, rows, k0, kEff)
 	})
 	e.packBShared(b, k0, kEff, n0, nEff)
 	st.PackNanos += time.Since(t0).Nanoseconds()
 
 	t0 = time.Now()
-	bp := e.bufB[:packing.PackedBSize(kEff, nEff, e.cfg.NR)]
+	bp := e.packB[0][:packing.PackedBSize(kEff, nEff, e.cfg.NR)]
 	e.pool.ForStatic(strips, func(core, s int) {
 		r0 := s * mc
 		rows := min(mc, mEff-r0)
-		ap := e.bufA[r0*kEff : r0*kEff+packing.PackedASize(rows, kEff, e.cfg.MR)]
+		ap := e.packA[0][r0*kEff : r0*kEff+packing.PackedASize(rows, kEff, e.cfg.MR)]
 		packing.Macro(e.kern, kEff, ap, bp, cBlock.View(r0, 0, rows, nEff), e.scratch[core])
 	})
 	st.ComputeNanos += time.Since(t0).Nanoseconds()
@@ -333,16 +392,16 @@ func (e *Executor[T]) blockDimM(a, b, cBlock *matrix.Matrix[T], st *Stats, m0, m
 	e.pool.ForStatic(strips, func(_, s int) {
 		c0 := s * nc
 		cols := min(nc, nEff-c0)
-		e.packBSlice(e.bufB[c0*kEff:], b, k0, kEff, n0+c0, cols)
+		e.packBSlice(e.packB[0][c0*kEff:], b, k0, kEff, n0+c0, cols)
 	})
 	st.PackNanos += time.Since(t0).Nanoseconds()
 
 	t0 = time.Now()
-	ap := e.bufA[:packing.PackedASize(mEff, kEff, e.cfg.MR)]
+	ap := e.packA[0][:packing.PackedASize(mEff, kEff, e.cfg.MR)]
 	e.pool.ForStatic(strips, func(core, s int) {
 		c0 := s * nc
 		cols := min(nc, nEff-c0)
-		bp := e.bufB[c0*kEff : c0*kEff+packing.PackedBSize(kEff, cols, e.cfg.NR)]
+		bp := e.packB[0][c0*kEff : c0*kEff+packing.PackedBSize(kEff, cols, e.cfg.NR)]
 		packing.Macro(e.kern, kEff, ap, bp, cBlock.View(0, c0, mEff, cols), e.scratch[core])
 	})
 	st.ComputeNanos += time.Since(t0).Nanoseconds()
@@ -362,8 +421,8 @@ func (e *Executor[T]) blockDimK(a, b, cBlock *matrix.Matrix[T], st *Stats, m0, m
 	e.pool.ForStatic(strips, func(core, s int) {
 		kk0 := s * kc
 		depth := min(kc, kEff-kk0)
-		ap := e.packASlice(e.bufA[s*aSlice:], a, m0, mEff, k0+kk0, depth)
-		bp := e.packBSlice(e.bufB[s*bSlice:], b, k0+kk0, depth, n0, nEff)
+		ap := e.packASlice(e.packA[0][s*aSlice:], a, m0, mEff, k0+kk0, depth)
+		bp := e.packBSlice(e.packB[0][s*bSlice:], b, k0+kk0, depth, n0, nEff)
 		part := matrix.FromSlice(mEff, nEff, e.partials[core][:mEff*nEff])
 		part.Zero()
 		packing.Macro(e.kern, depth, ap, bp, part, e.scratch[core])
@@ -399,7 +458,7 @@ func (e *Executor[T]) packBShared(b *matrix.Matrix[T], k0, kEff, n0, nEff int) {
 		}
 		c0 := p0 * nr
 		cols := min(pn*nr, nEff-c0)
-		e.packBSlice(e.bufB[c0*kEff:], b, k0, kEff, n0+c0, cols)
+		e.packBSlice(e.packB[0][c0*kEff:], b, k0, kEff, n0+c0, cols)
 	})
 }
 
@@ -418,7 +477,7 @@ func (e *Executor[T]) packAShared(a *matrix.Matrix[T], m0, mEff, k0, kEff int) {
 		}
 		r0 := p0 * mr
 		rows := min(pn*mr, mEff-r0)
-		e.packASlice(e.bufA[r0*kEff:], a, m0+r0, rows, k0, kEff)
+		e.packASlice(e.packA[0][r0*kEff:], a, m0+r0, rows, k0, kEff)
 	})
 }
 

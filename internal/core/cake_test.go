@@ -139,10 +139,21 @@ func TestGemmStats(t *testing.T) {
 	if st.Blocks != 8 {
 		t.Fatalf("blocks %d", st.Blocks)
 	}
-	// Every element of A and B is packed once per block touching it:
-	// A touched by Nb block columns, B by Mb block rows.
-	if st.PackedAElems != 2*64*32 || st.PackedBElems != 2*32*64 {
-		t.Fatalf("packed A=%d B=%d", st.PackedAElems, st.PackedBElems)
+	// Every element of A and B is touched once per block that needs it
+	// (A by Nb block columns, B by Mb block rows), but the pipeline serves
+	// part of that from already-packed panels at snake run boundaries.
+	if st.PackedAElems+st.ReusedAElems != 2*64*32 || st.PackedBElems+st.ReusedBElems != 2*32*64 {
+		t.Fatalf("packed+reused A=%d+%d B=%d+%d",
+			st.PackedAElems, st.ReusedAElems, st.PackedBElems, st.ReusedBElems)
+	}
+	// The 2x2x2 snake revisits B panels at every M step and A panels on the
+	// reversed sweeps: the reuse layer must catch some of each.
+	if st.ReusedAElems == 0 || st.ReusedBElems == 0 {
+		t.Fatalf("no panel reuse on a revisiting schedule: A=%d B=%d",
+			st.ReusedAElems, st.ReusedBElems)
+	}
+	if !st.Pipelined {
+		t.Fatal("default executor should be pipelined")
 	}
 	// C unpacked exactly once per element.
 	if st.UnpackCElems != 64*64 {

@@ -179,7 +179,7 @@ func (e *Executor[T]) Gemm(c, a, b *matrix.Matrix[T]) (Stats, error) {
 			e.pool.For(blocks, func(worker, blk int) {
 				ic := blk * cfg.MC
 				mcEff := min(cfg.MC, m-ic)
-				ap := packing.PackA(e.bufA[worker], a.View(ic, pc, mcEff, kcEff), cfg.MR)
+				ap := packing.PackA(e.bufA[worker], a.View(ic, pc, mcEff, kcEff), cfg.MR, 1)
 				cv := c.View(ic, jc, mcEff, ncEff)
 				packing.Macro(e.kern, kcEff, ap, bp, cv, e.scratch[worker])
 			})

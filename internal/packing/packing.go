@@ -37,9 +37,11 @@ func PackedBSize(kc, c, nr int) int {
 }
 
 // PackA packs the dense block a (any r×kc view) into dst using mr-row
-// panels, zero-padding the final partial panel. dst must have at least
+// panels, zero-padding the final partial panel, multiplying every element by
+// scale on the way through (BLAS α folded into the single packing pass —
+// scale 1 takes a multiply-free path). dst must have at least
 // PackedASize(a.Rows, a.Cols, mr) elements; the used prefix is returned.
-func PackA[T matrix.Scalar](dst []T, a *matrix.Matrix[T], mr int) []T {
+func PackA[T matrix.Scalar](dst []T, a *matrix.Matrix[T], mr int, scale T) []T {
 	r, kc := a.Rows, a.Cols
 	n := PackedASize(r, kc, mr)
 	if len(dst) < n {
@@ -51,8 +53,14 @@ func PackA[T matrix.Scalar](dst []T, a *matrix.Matrix[T], mr int) []T {
 		rows := min(mr, r-q*mr)
 		for k := 0; k < kc; k++ {
 			col := panel[k*mr : k*mr+mr]
-			for i := 0; i < rows; i++ {
-				col[i] = a.At(q*mr+i, k)
+			if scale == 1 {
+				for i := 0; i < rows; i++ {
+					col[i] = a.At(q*mr+i, k)
+				}
+			} else {
+				for i := 0; i < rows; i++ {
+					col[i] = a.At(q*mr+i, k) * scale
+				}
 			}
 			for i := rows; i < mr; i++ {
 				col[i] = 0
@@ -88,10 +96,11 @@ func PackB[T matrix.Scalar](dst []T, b *matrix.Matrix[T], nr int) []T {
 }
 
 // PackAT packs the transpose of the dense block at (a kc×r view, holding
-// Aᵀ) into dst using the PackA layout: logical element A(i, k) = at(k, i).
+// Aᵀ) into dst using the PackA layout: logical element A(i, k) = at(k, i),
+// scaled by scale during the copy (scale 1 keeps the memmove fast path).
 // Used for GEMM with a transposed left operand — the packed form is
 // identical, so microkernels are oblivious to storage order.
-func PackAT[T matrix.Scalar](dst []T, at *matrix.Matrix[T], mr int) []T {
+func PackAT[T matrix.Scalar](dst []T, at *matrix.Matrix[T], mr int, scale T) []T {
 	kc, r := at.Rows, at.Cols
 	n := PackedASize(r, kc, mr)
 	if len(dst) < n {
@@ -104,7 +113,13 @@ func PackAT[T matrix.Scalar](dst []T, at *matrix.Matrix[T], mr int) []T {
 		for k := 0; k < kc; k++ {
 			col := panel[k*mr : k*mr+mr]
 			arow := at.Row(k)[q*mr : q*mr+rows]
-			copy(col, arow)
+			if scale == 1 {
+				copy(col, arow)
+			} else {
+				for i, v := range arow {
+					col[i] = v * scale
+				}
+			}
 			for i := rows; i < mr; i++ {
 				col[i] = 0
 			}

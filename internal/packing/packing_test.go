@@ -27,7 +27,7 @@ func TestPackARoundTrip(t *testing.T) {
 	a := matrix.New[float64](10, 6) // 10 rows: two full panels + one half panel
 	a.Randomize(rng)
 	buf := make([]float64, PackedASize(10, 6, mr))
-	PackA(buf, a, mr)
+	PackA(buf, a, mr, 1)
 
 	for q := 0; q < 3; q++ {
 		for k := 0; k < 6; k++ {
@@ -78,7 +78,7 @@ func TestPackFromViews(t *testing.T) {
 	big.Randomize(rng)
 	v := big.View(3, 5, 7, 6)
 	buf := make([]float32, PackedASize(7, 6, 8))
-	PackA(buf, v, 8)
+	PackA(buf, v, 8, 1)
 	if buf[0] != big.At(3, 5) || buf[1] != big.At(4, 5) {
 		t.Fatal("PackA from view reads wrong elements")
 	}
@@ -104,7 +104,7 @@ func TestPackShortDstPanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	PackA(make([]float32, 10), a, 8)
+	PackA(make([]float32, 10), a, 8, 1)
 }
 
 func TestPackBShortDstPanics(t *testing.T) {
@@ -125,7 +125,7 @@ func TestPackReusesDirtyBuffer(t *testing.T) {
 	for i := range buf {
 		buf[i] = 99
 	}
-	PackA(buf, a, 4)
+	PackA(buf, a, 4, 1)
 	// Row 5..7 of the second panel are padding and must now be zero.
 	for k := 0; k < 3; k++ {
 		for i := 1; i < 4; i++ {
@@ -144,7 +144,7 @@ func macroVsNaive(t *testing.T, m, n, kc int, mr, nr int, seed int64) {
 	a.Randomize(rng)
 	b.Randomize(rng)
 
-	ap := PackA(make([]float64, PackedASize(m, kc, mr)), a, mr)
+	ap := PackA(make([]float64, PackedASize(m, kc, mr)), a, mr, 1)
 	bp := PackB(make([]float64, PackedBSize(kc, n, nr)), b, nr)
 
 	got := matrix.New[float64](m, n)
@@ -185,7 +185,7 @@ func TestMacroQuick(t *testing.T) {
 		b := matrix.New[float64](kc, n)
 		a.Randomize(rng)
 		b.Randomize(rng)
-		ap := PackA(make([]float64, PackedASize(m, kc, s[0])), a, s[0])
+		ap := PackA(make([]float64, PackedASize(m, kc, s[0])), a, s[0], 1)
 		bp := PackB(make([]float64, PackedBSize(kc, n, s[1])), b, s[1])
 
 		got := matrix.New[float64](m, n)
@@ -206,7 +206,7 @@ func TestMacroWritesOnlyItsRegion(t *testing.T) {
 	b := matrix.New[float64](4, 5)
 	a.Fill(1)
 	b.Fill(1)
-	ap := PackA(make([]float64, PackedASize(5, 4, 8)), a, 8)
+	ap := PackA(make([]float64, PackedASize(5, 4, 8)), a, 8, 1)
 	bp := PackB(make([]float64, PackedBSize(4, 5, 8)), b, 8)
 	Macro(kernel.Best[float64](8, 8), 4, ap, bp, cv, kernel.NewScratch[float64](8, 8))
 	if host.At(2, 2) != 4 {
@@ -241,8 +241,8 @@ func TestPackATMatchesPackA(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
 	a := matrix.New[float64](13, 9)
 	a.Randomize(rng)
-	want := PackA(make([]float64, PackedASize(13, 9, 8)), a, 8)
-	got := PackAT(make([]float64, PackedASize(13, 9, 8)), a.Transpose(), 8)
+	want := PackA(make([]float64, PackedASize(13, 9, 8)), a, 8, 1)
+	got := PackAT(make([]float64, PackedASize(13, 9, 8)), a.Transpose(), 8, 1)
 	for i := range want {
 		if want[i] != got[i] {
 			t.Fatalf("PackAT differs at %d: %v vs %v", i, got[i], want[i])
@@ -265,7 +265,7 @@ func TestPackBTMatchesPackB(t *testing.T) {
 
 func TestPackTransShortDstPanics(t *testing.T) {
 	for name, fn := range map[string]func(){
-		"PackAT": func() { PackAT(make([]float64, 3), matrix.New[float64](4, 8), 8) },
+		"PackAT": func() { PackAT(make([]float64, 3), matrix.New[float64](4, 8), 8, 1) },
 		"PackBT": func() { PackBT(make([]float64, 3), matrix.New[float64](8, 4), 8) },
 	} {
 		func() {
@@ -285,8 +285,8 @@ func TestPackTransFromViews(t *testing.T) {
 	big.Randomize(rng)
 	// A 6×7 logical A block whose transpose lives at (2,3) as a 7×6 view.
 	at := big.View(2, 3, 7, 6)
-	got := PackAT(make([]float64, PackedASize(6, 7, 8)), at, 8)
-	want := PackA(make([]float64, PackedASize(6, 7, 8)), at.Clone().Transpose(), 8)
+	got := PackAT(make([]float64, PackedASize(6, 7, 8)), at, 8, 1)
+	want := PackA(make([]float64, PackedASize(6, 7, 8)), at.Clone().Transpose(), 8, 1)
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("PackAT view mismatch at %d", i)
@@ -298,6 +298,32 @@ func TestPackTransFromViews(t *testing.T) {
 	for i := range wantB {
 		if gotB[i] != wantB[i] {
 			t.Fatalf("PackBT view mismatch at %d", i)
+		}
+	}
+}
+
+func TestPackAScaled(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	a := matrix.New[float64](11, 7) // ragged: padding must stay zero
+	a.Randomize(rng)
+	plain := PackA(make([]float64, PackedASize(11, 7, 8)), a, 8, 1)
+	scaled := PackA(make([]float64, PackedASize(11, 7, 8)), a, 8, 2.5)
+	for i := range plain {
+		if scaled[i] != plain[i]*2.5 {
+			t.Fatalf("PackA scale at %d: got %v want %v", i, scaled[i], plain[i]*2.5)
+		}
+	}
+}
+
+func TestPackATScaled(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := matrix.New[float64](9, 5)
+	a.Randomize(rng)
+	want := PackA(make([]float64, PackedASize(9, 5, 8)), a, 8, -3)
+	got := PackAT(make([]float64, PackedASize(9, 5, 8)), a.Transpose(), 8, -3)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PackAT scale at %d: got %v want %v", i, got[i], want[i])
 		}
 	}
 }

@@ -1,8 +1,17 @@
-// Package pool provides a fixed-size worker pool with a parallel-for
-// primitive. The CAKE and GOTO drivers use one worker per simulated core so
+// Package pool provides a fixed-size worker pool with parallel-for
+// primitives. The CAKE and GOTO drivers use one worker per simulated core so
 // that goroutine identity corresponds to the paper's "core" (each core owns
 // one A tile / one mc-strip of the CB block), and so repeated block
 // executions reuse goroutines instead of spawning per block.
+//
+// Besides the synchronous For/ForStatic, the pool offers asynchronous
+// submission (Submit, ForStaticAsync) returning a waitable Handle. Workers
+// drain queued jobs in FIFO order, so a caller can enqueue a pack job for
+// CB block i+1, immediately run the compute job for block i, and overlap the
+// two: workers that finish their share of one job flow into the next without
+// a barrier in between. This is the mechanism behind the pipelined executor
+// in internal/core (paper Section 3: compute fully overlaps the constant
+// stream of memory traffic).
 package pool
 
 import (
@@ -17,6 +26,21 @@ type job struct {
 	n    int64
 	next atomic.Int64
 	wg   sync.WaitGroup
+}
+
+// Handle is a waitable ticket for a job submitted asynchronously. The zero
+// Handle (and a nil Handle) are valid and already complete.
+type Handle struct {
+	j *job
+}
+
+// Wait blocks until every item of the submitted job has finished. It is safe
+// to call multiple times and on a nil Handle.
+func (h *Handle) Wait() {
+	if h == nil || h.j == nil {
+		return
+	}
+	h.j.wg.Wait()
 }
 
 // Pool runs work items on a fixed set of worker goroutines.
@@ -55,6 +79,24 @@ func (p *Pool) worker(id int) {
 // Workers returns the pool size.
 func (p *Pool) Workers() int { return p.workers }
 
+// enqueue fans a job out to the pool. fan bounds how many workers can claim
+// the job; sending fan handles wakes at most fan idle workers, so small jobs
+// do not disturb the rest of the pool. When async, the sends happen on a
+// helper goroutine so the caller never blocks behind busy workers.
+func (p *Pool) enqueue(j *job, fan int, async bool) {
+	j.wg.Add(fan)
+	send := func() {
+		for w := 0; w < fan; w++ {
+			p.jobs <- j
+		}
+	}
+	if async {
+		go send()
+	} else {
+		send()
+	}
+}
+
 // For runs f(worker, item) for every item in [0, n), distributing items over
 // the workers, and blocks until all complete. worker identifies the
 // executing worker in [0, Workers()); items are claimed dynamically, so a
@@ -75,11 +117,38 @@ func (p *Pool) For(n int, f func(worker, item int)) {
 		return
 	}
 	j := &job{f: f, n: int64(n)}
-	j.wg.Add(p.workers)
-	for w := 0; w < p.workers; w++ {
-		p.jobs <- j
-	}
+	p.enqueue(j, min(n, p.workers), false)
 	j.wg.Wait()
+}
+
+// Submit enqueues a For-style dynamic job without waiting for it: f(worker,
+// item) will run for every item in [0, n) on the pool's workers, concurrently
+// with anything the caller does next. The returned Handle's Wait blocks until
+// all items finish. Every Handle must be waited before the pool is Closed.
+func (p *Pool) Submit(n int, f func(worker, item int)) *Handle {
+	if n <= 0 {
+		return &Handle{}
+	}
+	if p.closed.Load() {
+		panic("pool: Submit on closed pool")
+	}
+	j := &job{f: f, n: int64(n)}
+	p.enqueue(j, min(n, p.workers), true)
+	return &Handle{j: j}
+}
+
+// staticJob builds the virtual-core job ForStatic and ForStaticAsync share:
+// each of the min(n, workers) virtual cores processes its own strided slice
+// of [0, n), and exactly one goroutine claims each virtual core.
+func (p *Pool) staticJob(n int, f func(core, item int)) (*job, int) {
+	fan := min(n, p.workers)
+	j := &job{n: int64(fan)}
+	j.f = func(_, core int) {
+		for i := core; i < n; i += p.workers {
+			f(core, i)
+		}
+	}
+	return j, fan
 }
 
 // ForStatic runs f(core, item) with a static assignment: item i always runs
@@ -94,30 +163,36 @@ func (p *Pool) ForStatic(n int, f func(core, item int)) {
 	if p.closed.Load() {
 		panic("pool: ForStatic on closed pool")
 	}
-	if p.workers == 1 {
+	if p.workers == 1 || n == 1 {
+		// Fast path: run inline; item i of a single-item job maps to virtual
+		// core 0 either way, so the static contract is preserved.
 		for i := 0; i < n; i++ {
 			f(0, i)
 		}
 		return
 	}
-	// Each dynamically claimed item in [0, workers) is a virtual core that
-	// processes its own strided slice of [0, n). Exactly one goroutine
-	// claims each virtual core, giving the static mapping.
-	j := &job{n: int64(p.workers)}
-	j.f = func(_, core int) {
-		for i := core; i < n; i += p.workers {
-			f(core, i)
-		}
-	}
-	j.wg.Add(p.workers)
-	for w := 0; w < p.workers; w++ {
-		p.jobs <- j
-	}
+	j, fan := p.staticJob(n, f)
+	p.enqueue(j, fan, false)
 	j.wg.Wait()
 }
 
-// Close shuts the pool down. Pending For calls must have returned; using
-// the pool after Close panics.
+// ForStaticAsync enqueues a ForStatic-style job without waiting for it,
+// returning a waitable Handle. The static core mapping is identical to
+// ForStatic's. Every Handle must be waited before the pool is Closed.
+func (p *Pool) ForStaticAsync(n int, f func(core, item int)) *Handle {
+	if n <= 0 {
+		return &Handle{}
+	}
+	if p.closed.Load() {
+		panic("pool: ForStaticAsync on closed pool")
+	}
+	j, fan := p.staticJob(n, f)
+	p.enqueue(j, fan, true)
+	return &Handle{j: j}
+}
+
+// Close shuts the pool down. Pending For calls must have returned and every
+// async Handle must have been waited; using the pool after Close panics.
 func (p *Pool) Close() {
 	if p.closed.Swap(true) {
 		panic(fmt.Sprintf("pool: double Close of %d-worker pool", p.workers))

@@ -139,6 +139,141 @@ func TestForStaticCoreExclusive(t *testing.T) {
 	}
 }
 
+func TestSubmitRunsEveryItemOnce(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	const n = 500
+	counts := make([]atomic.Int32, n)
+	h := p.Submit(n, func(_, i int) { counts[i].Add(1) })
+	h.Wait()
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("item %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestSubmitDoesNotBlockCaller(t *testing.T) {
+	// A submitted job that rendezvouses with the caller proves Submit
+	// returned while the job was still running.
+	p := New(2)
+	defer p.Close()
+	release := make(chan struct{})
+	h := p.Submit(1, func(_, _ int) { <-release })
+	close(release) // reached only because Submit returned
+	h.Wait()
+}
+
+func TestSubmitOverlapsWithSyncFor(t *testing.T) {
+	// The async job blocks until the sync job has run: completion proves the
+	// pool multiplexes a queued async job with a later synchronous one.
+	p := New(2)
+	defer p.Close()
+	syncRan := make(chan struct{})
+	h := p.Submit(1, func(_, _ int) { <-syncRan })
+	p.For(1, func(_, _ int) {}) // inline fast path, independent of workers
+	close(syncRan)
+	h.Wait()
+}
+
+func TestSubmitZeroItems(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	h := p.Submit(0, func(_, _ int) { t.Error("ran for n=0") })
+	h.Wait()
+	h.Wait() // Wait is idempotent
+	var nilH *Handle
+	nilH.Wait() // and nil-safe
+}
+
+func TestForStaticAsyncMapping(t *testing.T) {
+	const w = 3
+	p := New(w)
+	defer p.Close()
+	cores := make([]int, 20)
+	var mu sync.Mutex
+	h := p.ForStaticAsync(20, func(core, i int) {
+		mu.Lock()
+		cores[i] = core
+		mu.Unlock()
+	})
+	h.Wait()
+	for i, c := range cores {
+		if c != i%w {
+			t.Fatalf("item %d ran on core %d, want %d", i, c, i%w)
+		}
+	}
+}
+
+func TestForStaticAsyncSingleWorker(t *testing.T) {
+	// On a 1-worker pool async submission must still enqueue (not run
+	// inline), so the caller can do concurrent work before Wait.
+	p := New(1)
+	defer p.Close()
+	var ran atomic.Int32
+	h := p.ForStaticAsync(5, func(core, _ int) {
+		if core != 0 {
+			t.Errorf("core %d on single-worker pool", core)
+		}
+		ran.Add(1)
+	})
+	h.Wait()
+	if ran.Load() != 5 {
+		t.Fatalf("ran %d of 5", ran.Load())
+	}
+}
+
+func TestManyConcurrentSubmits(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var total atomic.Int64
+	handles := make([]*Handle, 32)
+	for i := range handles {
+		handles[i] = p.Submit(17, func(_, _ int) { total.Add(1) })
+	}
+	for _, h := range handles {
+		h.Wait()
+	}
+	if total.Load() != 32*17 {
+		t.Fatalf("total %d want %d", total.Load(), 32*17)
+	}
+}
+
+func TestForSmallerThanPool(t *testing.T) {
+	// n < workers must still run every item exactly once (only min(n, w)
+	// handles are enqueued).
+	p := New(8)
+	defer p.Close()
+	for _, n := range []int{1, 2, 3, 7} {
+		counts := make([]atomic.Int32, n)
+		p.For(n, func(_, i int) { counts[i].Add(1) })
+		for i := range counts {
+			if counts[i].Load() != 1 {
+				t.Fatalf("n=%d item %d ran %d times", n, i, counts[i].Load())
+			}
+		}
+	}
+}
+
+func TestForStaticSmallerThanPool(t *testing.T) {
+	p := New(8)
+	defer p.Close()
+	for _, n := range []int{1, 2, 5} {
+		cores := make([]int, n)
+		var mu sync.Mutex
+		p.ForStatic(n, func(core, i int) {
+			mu.Lock()
+			cores[i] = core
+			mu.Unlock()
+		})
+		for i, c := range cores {
+			if c != i { // i%8 == i for n <= 8
+				t.Fatalf("n=%d item %d on core %d", n, i, c)
+			}
+		}
+	}
+}
+
 func TestWorkersAndDefault(t *testing.T) {
 	p := New(7)
 	if p.Workers() != 7 {

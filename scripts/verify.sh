@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# verify.sh — the repo's tier-1 gate plus the race-sensitive packages.
+# Run from anywhere; exits non-zero on the first failure.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race ./internal/pool ./internal/core"
+go test -race ./internal/pool ./internal/core
+
+echo "verify: OK"
