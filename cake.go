@@ -21,11 +21,13 @@ package cake
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/gotoalg"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/pool"
 )
@@ -70,6 +72,58 @@ func WithPipeline(on bool) ExecutorOption { return core.WithPipeline(on) }
 // step) skips the repack. Implies pipelining; slots below 2 are raised to
 // the double-buffering minimum.
 func WithPanelCache(slots int) ExecutorOption { return core.WithPanelCache(slots) }
+
+// TraceRecorder collects per-worker pack/compute/unpack spans from a traced
+// execution: fixed ring buffers, an atomic cursor per worker, no locks and
+// no allocation on the record path.
+type TraceRecorder = obs.Recorder
+
+// TraceSpan is one recorded phase execution.
+type TraceSpan = obs.Span
+
+// TraceProcess names one recorder's lane group in an exported trace.
+type TraceProcess = obs.Process
+
+// BandwidthTimeline is DRAM traffic bucketed into fixed time windows; its
+// Stats method reports mean/peak bandwidth and the coefficient of
+// variation — the empirical check of the paper's constant-bandwidth
+// property (§3).
+type BandwidthTimeline = obs.Timeline
+
+// NewTraceRecorder returns a recorder sized for workers executor cores
+// keeping the most recent spansPerWorker spans per lane (≤ 0 selects a
+// default). Attach it with WithTrace (or gotoalg's equivalent), then export
+// via WriteChromeTrace or reduce via NewBandwidthTimeline.
+func NewTraceRecorder(workers, spansPerWorker int) *TraceRecorder {
+	return obs.NewRecorder(workers, spansPerWorker)
+}
+
+// WithTrace attaches a span recorder to a CAKE executor: every
+// pack/compute/unpack unit and every panel-cache hit is recorded with
+// worker id, CB-block coordinates and bytes moved, and pool jobs run under
+// {executor=cake, phase} pprof labels. Tracing off (no recorder) costs the
+// executor one predictable branch per instrumentation point.
+func WithTrace(rec *TraceRecorder) ExecutorOption { return core.WithTrace(rec) }
+
+// WriteChromeTrace exports recorded spans as Chrome Trace Event Format
+// JSON — load the file in https://ui.perfetto.dev (or chrome://tracing) to
+// see per-worker lanes of pack/compute/unpack spans, pack/compute overlap,
+// and panel-cache hit markers. Pass several processes (e.g. CAKE and GOTO
+// runs of the same shape) to compare them side by side.
+func WriteChromeTrace(w io.Writer, procs ...TraceProcess) error {
+	return obs.WriteChromeTrace(w, procs...)
+}
+
+// NewBandwidthTimeline buckets a traced execution's DRAM traffic into the
+// given number of windows spanning the run.
+func NewBandwidthTimeline(rec *TraceRecorder, buckets int) BandwidthTimeline {
+	return obs.NewTimelineN(rec.Spans(), buckets)
+}
+
+// EnableMetrics switches on the expvar-backed metrics registry: cumulative
+// per-executor GEMM/block/bytes/time counters published under the
+// "cake_metrics" expvar map for long-running hosts (see internal/obs).
+func EnableMetrics() { obs.EnableMetrics() }
 
 // Compute dimensions (Section 3): N is the paper's primary formulation.
 const (
@@ -160,10 +214,18 @@ func PlanGoto[T Scalar](pl *Platform) (GotoConfig, error) {
 	return gotoalg.Plan(pl, elemSize(zero))
 }
 
+// GotoOption tunes a GOTO execution at construction time.
+type GotoOption = gotoalg.Option
+
+// WithGotoTrace attaches a span recorder to a GOTO execution (the baseline
+// counterpart of WithTrace); its compute spans carry the partial-C
+// streaming traffic that makes GOTO's bandwidth timeline spiky.
+func WithGotoTrace(rec *TraceRecorder) GotoOption { return gotoalg.WithTrace(rec) }
+
 // GotoGemm computes C += A×B with the GOTO algorithm (the baseline MKL,
 // ARMPL and OpenBLAS implement).
-func GotoGemm[T Scalar](c, a, b *Matrix[T], cfg GotoConfig) (GotoStats, error) {
-	return gotoalg.Gemm(c, a, b, cfg)
+func GotoGemm[T Scalar](c, a, b *Matrix[T], cfg GotoConfig, opts ...GotoOption) (GotoStats, error) {
+	return gotoalg.Gemm(c, a, b, cfg, opts...)
 }
 
 // NewPool creates a worker pool that multiple executors can share (one

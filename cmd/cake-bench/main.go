@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cake-bench [flags] table2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|packshare|gemm|tenant|all
+//	cake-bench [flags] table2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|packshare|gemm|trace|tenant|all
 //
 // Flags:
 //
@@ -12,7 +12,12 @@
 //	-csv DIR  also write each panel as CSV under DIR
 //
 // The gemm target compares the synchronous and pipelined executors on real
-// host GEMMs and writes machine-readable BENCH_gemm.json.
+// host GEMMs and writes machine-readable BENCH_gemm.json. The trace target
+// runs CAKE and GOTO on a matched skewed shape with span recorders
+// attached and writes trace.json (Chrome Trace Event Format — open in
+// https://ui.perfetto.dev) plus BENCH_bwtimeline.json (the bucketed
+// bandwidth timelines whose coefficients of variation test the paper's
+// constant-bandwidth claim).
 package main
 
 import (
@@ -24,8 +29,10 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/tenant"
 )
@@ -46,7 +53,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cake-bench [-quick] [-csv DIR] table2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|packshare|gemm|tenant|all")
+	fmt.Fprintln(os.Stderr, "usage: cake-bench [-quick] [-csv DIR] table2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|packshare|gemm|trace|tenant|all")
 }
 
 func run(target string, quick bool, csvDir string, w io.Writer) error {
@@ -55,6 +62,7 @@ func run(target string, quick bool, csvDir string, w io.Writer) error {
 		"fig4":      fig4,
 		"packshare": packshare,
 		"gemm":      gemmBench,
+		"trace":     traceBench,
 		"tenant":    tenants,
 		"fig7":      fig7,
 		"fig8":      fig8,
@@ -64,7 +72,7 @@ func run(target string, quick bool, csvDir string, w io.Writer) error {
 		"fig12":     func(q bool, d string, w io.Writer) error { return trio(platform.AMDRyzen9(), "fig12", q, d, w) },
 	}
 	if target == "all" {
-		for _, name := range []string{"table2", "fig4", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "packshare", "gemm", "tenant"} {
+		for _, name := range []string{"table2", "fig4", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "packshare", "gemm", "trace", "tenant"} {
 			if err := targets[name](quick, csvDir, w); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -105,11 +113,12 @@ func gemmBench(quick bool, csvDir string, w io.Writer) error {
 		return err
 	}
 	fmt.Fprintln(w, "== gemm: sync vs pipelined executor on this host ==")
-	fmt.Fprintf(w, "%-16s %-16s %-9s %-7s %-12s %-12s %-8s\n",
-		"shape", "mode", "GFLOP/s", "pack%", "reused A", "reused B", "vs sync")
+	fmt.Fprintf(w, "%-16s %-16s %-9s %-7s %-12s %-12s %-10s %-8s\n",
+		"shape", "mode", "GFLOP/s", "pack%", "reused A", "reused B", "overlap", "vs sync")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-16s %-16s %-9.2f %-7.1f %-12d %-12d %.2fx\n",
-			r.Shape, r.Mode, r.GFLOPS, 100*r.PackShare, r.ReusedAElems, r.ReusedBElems, r.SpeedupVsSync)
+		fmt.Fprintf(w, "%-16s %-16s %-9.2f %-7.1f %-12d %-12d %-10s %.2fx\n",
+			r.Shape, r.Mode, r.GFLOPS, 100*r.PackShare, r.ReusedAElems, r.ReusedBElems,
+			time.Duration(r.OverlapNanos).Round(time.Microsecond), r.SpeedupVsSync)
 	}
 	fmt.Fprintln(w)
 	path := "BENCH_gemm.json"
@@ -127,6 +136,58 @@ func gemmBench(quick bool, csvDir string, w io.Writer) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// traceBench runs CAKE and GOTO on the same skewed shape with tracing
+// enabled and writes trace.json (Perfetto-viewable per-worker lanes) and
+// BENCH_bwtimeline.json (bucketed DRAM-bandwidth series with
+// mean/peak/CoV per executor) — into csvDir when given, else the current
+// directory.
+func traceBench(quick bool, csvDir string, w io.Writer) error {
+	res, err := experiments.TraceBench(runtime.GOMAXPROCS(0), quick)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== trace: CAKE vs GOTO bandwidth timeline, %dx%dx%d on %d cores ==\n",
+		res.M, res.K, res.N, res.Cores)
+	fmt.Fprintf(w, "%-8s %-9s %-8s %-12s %-12s %-8s %-8s\n",
+		"exec", "GFLOP/s", "spans", "mean GB/s", "peak GB/s", "CoV", "dropped")
+	for _, t := range []experiments.ExecTimeline{res.Cake, res.Goto} {
+		fmt.Fprintf(w, "%-8s %-9.2f %-8d %-12.2f %-12.2f %-8.3f %-8d\n",
+			t.Executor, t.GFLOPS, t.Spans, t.MeanGBps, t.PeakGBps, t.CoV, t.Dropped)
+	}
+	fmt.Fprintln(w)
+
+	dir := "."
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		dir = csvDir
+	}
+	tf, err := os.Create(filepath.Join(dir, "trace.json"))
+	if err != nil {
+		return err
+	}
+	werr := obs.WriteChromeTrace(tf,
+		obs.Process{Name: "cake", Rec: res.CakeRec},
+		obs.Process{Name: "goto", Rec: res.GotoRec})
+	if cerr := tf.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_bwtimeline.json"), append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s and %s (open trace.json in https://ui.perfetto.dev)\n\n",
+		filepath.Join(dir, "trace.json"), filepath.Join(dir, "BENCH_bwtimeline.json"))
+	return nil
 }
 
 // tenants runs the Section 6.1 multi-tenant partition on the Intel model.

@@ -11,7 +11,10 @@ import (
 // hostPlatform builds a Platform for the machine the process runs on. Cache
 // sizes come from Linux sysfs when readable; anything missing falls back to
 // conservative desktop defaults. Bandwidths use desktop-class defaults —
-// callers who care calibrate with cmd/pmbw and set the fields directly.
+// callers who care calibrate with cmd/pmbw and apply the result either by
+// setting the fields directly or through the CAKE_DRAM_BW / CAKE_CLOCK_HZ
+// environment variables (values in bytes/s and Hz; scientific notation
+// like "21.3e9" works), which override the defaults here.
 func hostPlatform() *Platform {
 	pl := &platform.Platform{
 		Name:          "host",
@@ -41,7 +44,28 @@ func hostPlatform() *Platform {
 		pl.LLCBytes = pl.L2Bytes
 		pl.L2Bytes = 0
 	}
+	if bw, ok := envFloat("CAKE_DRAM_BW"); ok {
+		pl.DRAMBW = bw
+	}
+	if hz, ok := envFloat("CAKE_CLOCK_HZ"); ok {
+		pl.ClockHz = hz
+	}
 	return pl
+}
+
+// envFloat reads a positive float from the environment (pmbw calibration
+// plumbing: CAKE_DRAM_BW, CAKE_CLOCK_HZ). Unset, empty, non-numeric or
+// non-positive values are ignored so a typo degrades to the defaults.
+func envFloat(name string) (float64, bool) {
+	raw, ok := os.LookupEnv(name)
+	if !ok {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
+	if err != nil || v <= 0 {
+		return 0, false
+	}
+	return v, true
 }
 
 // sysfsCacheBytes reads the size of the given cache level for a CPU from

@@ -1,0 +1,51 @@
+package cake
+
+import "testing"
+
+func TestHostEnvOverrides(t *testing.T) {
+	t.Setenv("CAKE_DRAM_BW", "21.3e9")
+	t.Setenv("CAKE_CLOCK_HZ", "4.2e9")
+	h := hostPlatform()
+	if h.DRAMBW != 21.3e9 {
+		t.Fatalf("DRAMBW = %g, want 21.3e9", h.DRAMBW)
+	}
+	if h.ClockHz != 4.2e9 {
+		t.Fatalf("ClockHz = %g, want 4.2e9", h.ClockHz)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatalf("overridden host invalid: %v", err)
+	}
+}
+
+func TestHostEnvOverridesIgnoreGarbage(t *testing.T) {
+	base := func() (float64, float64) {
+		t.Setenv("CAKE_DRAM_BW", "")
+		t.Setenv("CAKE_CLOCK_HZ", "")
+		h := hostPlatform()
+		return h.DRAMBW, h.ClockHz
+	}
+	wantBW, wantHz := base()
+	for _, bad := range []string{"", "nonsense", "-3e9", "0", "  "} {
+		t.Setenv("CAKE_DRAM_BW", bad)
+		t.Setenv("CAKE_CLOCK_HZ", bad)
+		h := hostPlatform()
+		if h.DRAMBW != wantBW || h.ClockHz != wantHz {
+			t.Fatalf("env %q changed platform: bw %g hz %g", bad, h.DRAMBW, h.ClockHz)
+		}
+	}
+	// Whitespace around a valid number is tolerated.
+	t.Setenv("CAKE_DRAM_BW", " 30e9 ")
+	if h := hostPlatform(); h.DRAMBW != 30e9 {
+		t.Fatalf("trimmed value not applied: %g", h.DRAMBW)
+	}
+}
+
+func TestEnvFloat(t *testing.T) {
+	if _, ok := envFloat("CAKE_TEST_UNSET_VAR"); ok {
+		t.Fatal("unset var reported ok")
+	}
+	t.Setenv("CAKE_TEST_VAR", "2.5")
+	if v, ok := envFloat("CAKE_TEST_VAR"); !ok || v != 2.5 {
+		t.Fatalf("envFloat = %g,%v", v, ok)
+	}
+}

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
+	"unsafe"
 
 	"repro/internal/kernel"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/packing"
 	"repro/internal/pool"
 	"repro/internal/schedule"
@@ -40,12 +43,27 @@ func (s Stats) PackShare() float64 {
 	return float64(s.PackNanos) / float64(total)
 }
 
+// OverlapShare returns the fraction of pack time that was hidden under
+// compute by the pipeline, clamped to [0, 1] — per-stage overlap windows
+// can over-count when several pack jobs straddle one compute window, and a
+// run with no packing has nothing to hide.
+func (s Stats) OverlapShare() float64 {
+	if s.PackNanos <= 0 || s.OverlapNanos <= 0 {
+		return 0
+	}
+	if s.OverlapNanos >= s.PackNanos {
+		return 1
+	}
+	return float64(s.OverlapNanos) / float64(s.PackNanos)
+}
+
 // Option adjusts executor behaviour beyond the numeric Config.
 type Option func(*execOptions)
 
 type execOptions struct {
 	pipeline   bool
 	panelSlots int
+	rec        *obs.Recorder
 }
 
 // WithPipeline enables or disables the double-buffered pack/compute
@@ -66,6 +84,13 @@ func WithPanelCache(slots int) Option {
 		}
 	}
 }
+
+// WithTrace attaches a span recorder: every pack/compute/unpack unit and
+// every panel-cache hit is recorded with worker id, block coordinates and
+// bytes moved, and the executor's pool jobs run under pprof labels
+// ({executor=cake, phase=...}). A nil recorder (the default) keeps the hot
+// path on a single predictable branch and records nothing.
+func WithTrace(rec *obs.Recorder) Option { return func(o *execOptions) { o.rec = rec } }
 
 // Executor runs CAKE GEMMs with a fixed configuration, reusing its worker
 // pool and packing buffers across calls (the drop-in-library usage of
@@ -91,6 +116,16 @@ type Executor[T matrix.Scalar] struct {
 	bufC     []T
 	partials [][]T // DimK: per-core private partial-C surfaces
 
+	// Observability: rec is nil unless WithTrace attached a recorder; the
+	// label contexts are prebuilt per phase so pool jobs are tagged without
+	// per-call allocation. curBlk is the block the synchronous path (and
+	// the pipeline's orchestrator-side C management) is currently running —
+	// async pack spans carry their stage's own coordinates instead.
+	rec                          *obs.Recorder
+	elemBytes                    int64
+	packCtx, computeCtx, moveCtx context.Context
+	curBlk                       obs.Block
+
 	// Per-call operand orientation and scaling (set by GemmScaled for the
 	// duration of one multiplication; the executor is not safe for
 	// concurrent Gemm calls).
@@ -110,6 +145,14 @@ func NewExecutor[T matrix.Scalar](cfg Config, p *pool.Pool, opts ...Option) (*Ex
 		opt(&o)
 	}
 	e := &Executor[T]{cfg: cfg, kern: kernel.Best[T](cfg.MR, cfg.NR), pipeline: o.pipeline}
+	var zero T
+	e.elemBytes = int64(unsafe.Sizeof(zero))
+	if o.rec != nil {
+		e.rec = o.rec
+		e.packCtx = obs.LabelCtx("cake", obs.PhasePack)
+		e.computeCtx = obs.LabelCtx("cake", obs.PhaseCompute)
+		e.moveCtx = obs.LabelCtx("cake", obs.PhaseUnpack)
+	}
 	e.slots = 1
 	if e.pipeline {
 		e.slots = max(2, o.panelSlots)
@@ -140,6 +183,28 @@ func (e *Executor[T]) Close() {
 
 // Config returns the executor's configuration.
 func (e *Executor[T]) Config() Config { return e.cfg }
+
+// now returns the wall clock for span timing, or 0 when tracing is off so
+// untraced executions never touch the clock.
+func (e *Executor[T]) now() int64 {
+	if e.rec == nil {
+		return 0
+	}
+	return time.Now().UnixNano()
+}
+
+// span records one phase execution that started at t0 (from now()) on the
+// given worker lane; bytes is the DRAM traffic the unit moved. A single
+// branch when tracing is off.
+func (e *Executor[T]) span(worker int, ph obs.Phase, blk obs.Block, t0, bytes int64) {
+	if e.rec == nil {
+		return
+	}
+	e.rec.Record(worker, obs.Span{
+		StartNs: t0, DurNs: time.Now().UnixNano() - t0,
+		Bytes: bytes, Block: blk, Phase: ph,
+	})
+}
 
 // Gemm computes C += A×B using CB blocks and the K-first schedule.
 func (e *Executor[T]) Gemm(c, a, b *matrix.Matrix[T]) (Stats, error) {
@@ -199,10 +264,12 @@ func (e *Executor[T]) GemmScaled(c, a, b *matrix.Matrix[T], transA, transB bool,
 	st := Stats{Grid: grid, Order: order, Blocks: len(seq), Pipelined: e.pipeline}
 	if e.pipeline {
 		e.runPipelined(c, a, b, seq, &st, m, k, n)
+		e.accountGemm(st)
 		return st, nil
 	}
 	bm, bk, bn := e.cfg.BlockDims()
 	for i, cur := range seq {
+		e.curBlk = obs.Block{M: int32(cur.M), K: int32(cur.K), N: int32(cur.N)}
 		m0, mEff := span(cur.M, bm, m)
 		k0, kEff := span(cur.K, bk, k)
 		n0, nEff := span(cur.N, bn, n)
@@ -232,7 +299,17 @@ func (e *Executor[T]) GemmScaled(c, a, b *matrix.Matrix[T], transA, transB bool,
 			st.UnpackCElems += int64(mEff) * int64(nEff)
 		}
 	}
+	e.accountGemm(st)
 	return st, nil
+}
+
+// accountGemm folds one finished GEMM into the global obs metrics registry
+// (a single atomic load when metrics are disabled).
+func (e *Executor[T]) accountGemm(st Stats) {
+	obs.AccountGemm("cake", st.Blocks,
+		(st.PackedAElems+st.PackedBElems)*e.elemBytes,
+		(st.ReusedAElems+st.ReusedBElems)*e.elemBytes,
+		st.PackNanos, st.ComputeNanos, st.OverlapNanos)
 }
 
 // span returns the offset and clipped extent of block index idx.
@@ -318,21 +395,26 @@ func (e *Executor[T]) packBSlice(dst []T, b *matrix.Matrix[T], k0, depth, n0, co
 }
 
 // zeroBlock clears the resident partial-C buffer at the start of a K run,
-// split across cores by row chunks.
+// split across cores by row chunks. The buffer is local memory, so no
+// spans are recorded — only the pprof label marks the time.
 func (e *Executor[T]) zeroBlock(cBlock *matrix.Matrix[T]) {
 	chunks := e.rowChunks(cBlock.Rows)
-	e.pool.ForStatic(chunks, func(_, s int) {
+	e.pool.ForStaticLabeled(e.moveCtx, chunks, func(_, s int) {
 		r0, rows := chunkSpan(s, chunks, cBlock.Rows)
 		cBlock.View(r0, 0, rows, cBlock.Cols).Zero()
 	})
 }
 
-// unpack folds the completed block result into the output matrix.
+// unpack folds the completed block result into the output matrix — a
+// read-modify-write of the DRAM-resident C region, recorded as unpack
+// spans carrying 2× the chunk's bytes.
 func (e *Executor[T]) unpack(dst, cBlock *matrix.Matrix[T]) {
 	chunks := e.rowChunks(cBlock.Rows)
-	e.pool.ForStatic(chunks, func(_, s int) {
+	e.pool.ForStaticLabeled(e.moveCtx, chunks, func(core, s int) {
+		u0 := e.now()
 		r0, rows := chunkSpan(s, chunks, cBlock.Rows)
 		packing.AddInto(dst.View(r0, 0, rows, dst.Cols), cBlock.View(r0, 0, rows, cBlock.Cols))
+		e.span(core, obs.PhaseUnpack, e.curBlk, u0, 2*int64(rows)*int64(cBlock.Cols)*e.elemBytes)
 	})
 }
 
@@ -361,21 +443,25 @@ func (e *Executor[T]) blockDimN(a, b, cBlock *matrix.Matrix[T], st *Stats, m0, m
 	// Pack per-core A sub-blocks in parallel; strip s's panels start at
 	// s·mc·kEff because mc is a multiple of mr.
 	t0 := time.Now()
-	e.pool.ForStatic(strips, func(_, s int) {
+	e.pool.ForStaticLabeled(e.packCtx, strips, func(core, s int) {
+		u0 := e.now()
 		r0 := s * mc
 		rows := min(mc, mEff-r0)
 		e.packASlice(e.packA[0][r0*kEff:], a, m0+r0, rows, k0, kEff)
+		e.span(core, obs.PhasePack, e.curBlk, u0, int64(rows)*int64(kEff)*e.elemBytes)
 	})
 	e.packBShared(b, k0, kEff, n0, nEff)
 	st.PackNanos += time.Since(t0).Nanoseconds()
 
 	t0 = time.Now()
 	bp := e.packB[0][:packing.PackedBSize(kEff, nEff, e.cfg.NR)]
-	e.pool.ForStatic(strips, func(core, s int) {
+	e.pool.ForStaticLabeled(e.computeCtx, strips, func(core, s int) {
+		u0 := e.now()
 		r0 := s * mc
 		rows := min(mc, mEff-r0)
 		ap := e.packA[0][r0*kEff : r0*kEff+packing.PackedASize(rows, kEff, e.cfg.MR)]
 		packing.Macro(e.kern, kEff, ap, bp, cBlock.View(r0, 0, rows, nEff), e.scratch[core])
+		e.span(core, obs.PhaseCompute, e.curBlk, u0, 0)
 	})
 	st.ComputeNanos += time.Since(t0).Nanoseconds()
 }
@@ -389,20 +475,24 @@ func (e *Executor[T]) blockDimM(a, b, cBlock *matrix.Matrix[T], st *Stats, m0, m
 
 	t0 := time.Now()
 	e.packAShared(a, m0, mEff, k0, kEff)
-	e.pool.ForStatic(strips, func(_, s int) {
+	e.pool.ForStaticLabeled(e.packCtx, strips, func(core, s int) {
+		u0 := e.now()
 		c0 := s * nc
 		cols := min(nc, nEff-c0)
 		e.packBSlice(e.packB[0][c0*kEff:], b, k0, kEff, n0+c0, cols)
+		e.span(core, obs.PhasePack, e.curBlk, u0, int64(kEff)*int64(cols)*e.elemBytes)
 	})
 	st.PackNanos += time.Since(t0).Nanoseconds()
 
 	t0 = time.Now()
 	ap := e.packA[0][:packing.PackedASize(mEff, kEff, e.cfg.MR)]
-	e.pool.ForStatic(strips, func(core, s int) {
+	e.pool.ForStaticLabeled(e.computeCtx, strips, func(core, s int) {
+		u0 := e.now()
 		c0 := s * nc
 		cols := min(nc, nEff-c0)
 		bp := e.packB[0][c0*kEff : c0*kEff+packing.PackedBSize(kEff, cols, e.cfg.NR)]
 		packing.Macro(e.kern, kEff, ap, bp, cBlock.View(0, c0, mEff, cols), e.scratch[core])
+		e.span(core, obs.PhaseCompute, e.curBlk, u0, 0)
 	})
 	st.ComputeNanos += time.Since(t0).Nanoseconds()
 }
@@ -418,14 +508,19 @@ func (e *Executor[T]) blockDimK(a, b, cBlock *matrix.Matrix[T], st *Stats, m0, m
 	bSlice := packing.PackedBSize(kc, nEff, e.cfg.NR)
 
 	t0 := time.Now()
-	e.pool.ForStatic(strips, func(core, s int) {
+	e.pool.ForStaticLabeled(e.computeCtx, strips, func(core, s int) {
+		u0 := e.now()
 		kk0 := s * kc
 		depth := min(kc, kEff-kk0)
 		ap := e.packASlice(e.packA[0][s*aSlice:], a, m0, mEff, k0+kk0, depth)
 		bp := e.packBSlice(e.packB[0][s*bSlice:], b, k0+kk0, depth, n0, nEff)
+		e.span(core, obs.PhasePack, e.curBlk, u0,
+			(int64(mEff)+int64(nEff))*int64(depth)*e.elemBytes)
+		u0 = e.now()
 		part := matrix.FromSlice(mEff, nEff, e.partials[core][:mEff*nEff])
 		part.Zero()
 		packing.Macro(e.kern, depth, ap, bp, part, e.scratch[core])
+		e.span(core, obs.PhaseCompute, e.curBlk, u0, 0)
 	})
 	st.ComputeNanos += time.Since(t0).Nanoseconds()
 
@@ -450,15 +545,17 @@ func (e *Executor[T]) packBShared(b *matrix.Matrix[T], k0, kEff, n0, nEff int) {
 	panels := ceilDiv(nEff, nr)
 	chunks := min(e.cfg.Cores, panels)
 	perChunk := ceilDiv(panels, chunks)
-	e.pool.ForStatic(chunks, func(_, ch int) {
+	e.pool.ForStaticLabeled(e.packCtx, chunks, func(core, ch int) {
 		p0 := ch * perChunk
 		pn := min(perChunk, panels-p0)
 		if pn <= 0 {
 			return
 		}
+		u0 := e.now()
 		c0 := p0 * nr
 		cols := min(pn*nr, nEff-c0)
 		e.packBSlice(e.packB[0][c0*kEff:], b, k0, kEff, n0+c0, cols)
+		e.span(core, obs.PhasePack, e.curBlk, u0, int64(kEff)*int64(cols)*e.elemBytes)
 	})
 }
 
@@ -469,15 +566,17 @@ func (e *Executor[T]) packAShared(a *matrix.Matrix[T], m0, mEff, k0, kEff int) {
 	panels := ceilDiv(mEff, mr)
 	chunks := min(e.cfg.Cores, panels)
 	perChunk := ceilDiv(panels, chunks)
-	e.pool.ForStatic(chunks, func(_, ch int) {
+	e.pool.ForStaticLabeled(e.packCtx, chunks, func(core, ch int) {
 		p0 := ch * perChunk
 		pn := min(perChunk, panels-p0)
 		if pn <= 0 {
 			return
 		}
+		u0 := e.now()
 		r0 := p0 * mr
 		rows := min(pn*mr, mEff-r0)
 		e.packASlice(e.packA[0][r0*kEff:], a, m0+r0, rows, k0, kEff)
+		e.span(core, obs.PhasePack, e.curBlk, u0, int64(rows)*int64(kEff)*e.elemBytes)
 	})
 }
 

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/packing"
 	"repro/internal/pool"
 	"repro/internal/schedule"
@@ -38,6 +39,7 @@ func bKeyFor(b blockSpan) panelKey { return panelKey{b.k0, b.kEff, b.n0, b.nEff,
 type blockSpan struct {
 	m0, mEff, k0, kEff, n0, nEff int
 	runStart, runEnd             bool
+	coord                        obs.Block // grid coordinates, for span recording
 }
 
 func (e *Executor[T]) spanFor(seq []schedule.Coord, i, m, k, n int) blockSpan {
@@ -49,6 +51,7 @@ func (e *Executor[T]) spanFor(seq []schedule.Coord, i, m, k, n int) blockSpan {
 	b.n0, b.nEff = span(cur.N, bn, n)
 	b.runStart = i == 0 || seq[i-1].M != cur.M || seq[i-1].N != cur.N
 	b.runEnd = i == len(seq)-1 || seq[i+1].M != cur.M || seq[i+1].N != cur.N
+	b.coord = obs.Block{M: int32(cur.M), K: int32(cur.K), N: int32(cur.N)}
 	return b
 }
 
@@ -132,13 +135,16 @@ func (e *Executor[T]) submitPack(a, b *matrix.Matrix[T], blk blockSpan, busyA, b
 	}
 	s.pending.Store(int32(total))
 	aBuf, bBuf := e.packA[s.aSlot], e.packB[s.bSlot]
-	s.handle = e.pool.Submit(total, func(_, u int) {
+	s.handle = e.pool.SubmitLabeled(e.packCtx, total, func(worker, u int) {
+		u0 := e.now()
 		s.startNs.CompareAndSwap(0, time.Now().UnixNano())
+		var elems int64
 		if u < aUnits {
-			e.packAUnit(aBuf, a, blk, u)
+			elems = e.packAUnit(aBuf, a, blk, u)
 		} else {
-			e.packBUnit(bBuf, b, blk, u-aUnits)
+			elems = e.packBUnit(bBuf, b, blk, u-aUnits)
 		}
+		e.span(worker, obs.PhasePack, blk.coord, u0, elems*e.elemBytes)
 		if s.pending.Add(-1) == 0 {
 			s.doneNs.Store(time.Now().UnixNano())
 		}
@@ -160,13 +166,15 @@ func (e *Executor[T]) packAUnits(blk blockSpan) int {
 
 // packAUnit packs unit u of the block's A panel into dst, reproducing the
 // synchronous path's buffer layout exactly (offsets included) so compute is
-// oblivious to which path packed.
-func (e *Executor[T]) packAUnit(dst []T, a *matrix.Matrix[T], blk blockSpan, u int) {
+// oblivious to which path packed. Returns the elements moved, for span
+// accounting.
+func (e *Executor[T]) packAUnit(dst []T, a *matrix.Matrix[T], blk blockSpan, u int) int64 {
 	switch e.cfg.Dim {
 	case DimN:
 		r0 := u * e.cfg.MC
 		rows := min(e.cfg.MC, blk.mEff-r0)
 		e.packASlice(dst[r0*blk.kEff:], a, blk.m0+r0, rows, blk.k0, blk.kEff)
+		return int64(rows) * int64(blk.kEff)
 	case DimM:
 		mr := e.cfg.MR
 		panels := ceilDiv(blk.mEff, mr)
@@ -174,17 +182,19 @@ func (e *Executor[T]) packAUnit(dst []T, a *matrix.Matrix[T], blk blockSpan, u i
 		p0 := u * perChunk
 		pn := min(perChunk, panels-p0)
 		if pn <= 0 {
-			return
+			return 0
 		}
 		r0 := p0 * mr
 		rows := min(pn*mr, blk.mEff-r0)
 		e.packASlice(dst[r0*blk.kEff:], a, blk.m0+r0, rows, blk.k0, blk.kEff)
+		return int64(rows) * int64(blk.kEff)
 	default: // DimK
 		kc := e.cfg.KC
 		aSlice := packing.PackedASize(blk.mEff, kc, e.cfg.MR)
 		kk0 := u * kc
 		depth := min(kc, blk.kEff-kk0)
 		e.packASlice(dst[u*aSlice:], a, blk.m0, blk.mEff, blk.k0+kk0, depth)
+		return int64(blk.mEff) * int64(depth)
 	}
 }
 
@@ -200,8 +210,9 @@ func (e *Executor[T]) packBUnits(blk blockSpan) int {
 	}
 }
 
-// packBUnit packs unit u of the block's B panel into dst.
-func (e *Executor[T]) packBUnit(dst []T, b *matrix.Matrix[T], blk blockSpan, u int) {
+// packBUnit packs unit u of the block's B panel into dst. Returns the
+// elements moved, for span accounting.
+func (e *Executor[T]) packBUnit(dst []T, b *matrix.Matrix[T], blk blockSpan, u int) int64 {
 	switch e.cfg.Dim {
 	case DimN:
 		nr := e.cfg.NR
@@ -210,21 +221,24 @@ func (e *Executor[T]) packBUnit(dst []T, b *matrix.Matrix[T], blk blockSpan, u i
 		p0 := u * perChunk
 		pn := min(perChunk, panels-p0)
 		if pn <= 0 {
-			return
+			return 0
 		}
 		c0 := p0 * nr
 		cols := min(pn*nr, blk.nEff-c0)
 		e.packBSlice(dst[c0*blk.kEff:], b, blk.k0, blk.kEff, blk.n0+c0, cols)
+		return int64(blk.kEff) * int64(cols)
 	case DimM:
 		c0 := u * e.cfg.MC
 		cols := min(e.cfg.MC, blk.nEff-c0)
 		e.packBSlice(dst[c0*blk.kEff:], b, blk.k0, blk.kEff, blk.n0+c0, cols)
+		return int64(blk.kEff) * int64(cols)
 	default: // DimK
 		kc := e.cfg.KC
 		bSlice := packing.PackedBSize(kc, blk.nEff, e.cfg.NR)
 		kk0 := u * kc
 		depth := min(kc, blk.kEff-kk0)
 		e.packBSlice(dst[u*bSlice:], b, blk.k0+kk0, depth, blk.n0, blk.nEff)
+		return int64(depth) * int64(blk.nEff)
 	}
 }
 
@@ -240,28 +254,33 @@ func (e *Executor[T]) computeStage(s *pipeStage, cBlock *matrix.Matrix[T]) {
 		mc := e.cfg.MC
 		strips := ceilDiv(blk.mEff, mc)
 		bp := bBuf[:packing.PackedBSize(blk.kEff, blk.nEff, e.cfg.NR)]
-		e.pool.ForStatic(strips, func(core, si int) {
+		e.pool.ForStaticLabeled(e.computeCtx, strips, func(core, si int) {
+			u0 := e.now()
 			r0 := si * mc
 			rows := min(mc, blk.mEff-r0)
 			ap := aBuf[r0*blk.kEff : r0*blk.kEff+packing.PackedASize(rows, blk.kEff, e.cfg.MR)]
 			packing.Macro(e.kern, blk.kEff, ap, bp, cBlock.View(r0, 0, rows, blk.nEff), e.scratch[core])
+			e.span(core, obs.PhaseCompute, blk.coord, u0, 0)
 		})
 	case DimM:
 		nc := e.cfg.MC // square per-core block: nc = mc
 		strips := ceilDiv(blk.nEff, nc)
 		ap := aBuf[:packing.PackedASize(blk.mEff, blk.kEff, e.cfg.MR)]
-		e.pool.ForStatic(strips, func(core, si int) {
+		e.pool.ForStaticLabeled(e.computeCtx, strips, func(core, si int) {
+			u0 := e.now()
 			c0 := si * nc
 			cols := min(nc, blk.nEff-c0)
 			bp := bBuf[c0*blk.kEff : c0*blk.kEff+packing.PackedBSize(blk.kEff, cols, e.cfg.NR)]
 			packing.Macro(e.kern, blk.kEff, ap, bp, cBlock.View(0, c0, blk.mEff, cols), e.scratch[core])
+			e.span(core, obs.PhaseCompute, blk.coord, u0, 0)
 		})
 	default: // DimK
 		kc := e.cfg.KC
 		strips := ceilDiv(blk.kEff, kc)
 		aSlice := packing.PackedASize(blk.mEff, kc, e.cfg.MR)
 		bSlice := packing.PackedBSize(kc, blk.nEff, e.cfg.NR)
-		e.pool.ForStatic(strips, func(core, si int) {
+		e.pool.ForStaticLabeled(e.computeCtx, strips, func(core, si int) {
+			u0 := e.now()
 			kk0 := si * kc
 			depth := min(kc, blk.kEff-kk0)
 			ap := aBuf[si*aSlice : si*aSlice+packing.PackedASize(blk.mEff, depth, e.cfg.MR)]
@@ -269,6 +288,7 @@ func (e *Executor[T]) computeStage(s *pipeStage, cBlock *matrix.Matrix[T]) {
 			part := matrix.FromSlice(blk.mEff, blk.nEff, e.partials[core][:blk.mEff*blk.nEff])
 			part.Zero()
 			packing.Macro(e.kern, depth, ap, bp, part, e.scratch[core])
+			e.span(core, obs.PhaseCompute, blk.coord, u0, 0)
 		})
 		// Reduce private partials into the resident C block in the same
 		// strip order as the synchronous path (partials[si] holds slice si
@@ -296,11 +316,13 @@ func (e *Executor[T]) finishPack(s *pipeStage, st *Stats, computeStart, computeE
 		st.PackedAElems += aElems
 	} else {
 		st.ReusedAElems += aElems
+		e.reuseEvent(s.blk.coord, aElems)
 	}
 	if s.packedB {
 		st.PackedBElems += bElems
 	} else {
 		st.ReusedBElems += bElems
+		e.reuseEvent(s.blk.coord, bElems)
 	}
 	start, done := s.startNs.Load(), s.doneNs.Load()
 	if start > 0 && done > start {
@@ -311,6 +333,18 @@ func (e *Executor[T]) finishPack(s *pipeStage, st *Stats, computeStart, computeE
 			}
 		}
 	}
+}
+
+// reuseEvent records a panel-cache hit as an instant event on the
+// recorder's scheduler lane; bytes is the DRAM traffic the hit avoided.
+func (e *Executor[T]) reuseEvent(blk obs.Block, elems int64) {
+	if e.rec == nil {
+		return
+	}
+	e.rec.Record(e.rec.SchedulerLane(), obs.Span{
+		StartNs: time.Now().UnixNano(),
+		Bytes:   elems * e.elemBytes, Block: blk, Phase: obs.PhaseReuse,
+	})
 }
 
 // runPipelined executes the block schedule as a software pipeline: prologue
@@ -339,6 +373,7 @@ func (e *Executor[T]) runPipelined(c, a, b *matrix.Matrix[T], seq []schedule.Coo
 			e.finishPack(cur, st, 0, 0)
 		}
 		blk := cur.blk
+		e.curBlk = blk.coord // orchestrator-side C management spans
 		var next *pipeStage
 		if lookahead && i+1 < len(seq) {
 			next = e.submitPack(a, b, e.spanFor(seq, i+1, m, k, n), cur.aSlot, cur.bSlot)

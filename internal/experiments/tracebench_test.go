@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestTraceBenchAcceptance is the PR's acceptance check: CAKE and GOTO run
+// the same skewed shape with tracing enabled, the exported trace must be
+// valid Chrome Trace Event JSON with pack and compute spans on distinct
+// worker lanes, and CAKE's bandwidth timeline must be flatter (lower
+// coefficient of variation) than GOTO's — the empirical §3
+// constant-bandwidth property. Scheduler noise can flip a single CoV
+// comparison on a loaded machine, so the run retries a couple of times and
+// fails only if GOTO never looks spikier.
+func TestTraceBenchAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace bench runs full GEMMs")
+	}
+	const cores = 4
+	var res *TraceBenchResult
+	var err error
+	covOK := false
+	for attempt := 0; attempt < 3 && !covOK; attempt++ {
+		res, err = TraceBench(cores, true)
+		if err != nil {
+			t.Fatalf("TraceBench: %v", err)
+		}
+		covOK = res.Cake.CoV < res.Goto.CoV
+		if !covOK {
+			t.Logf("attempt %d: cake CoV %.3f not below goto CoV %.3f, retrying",
+				attempt, res.Cake.CoV, res.Goto.CoV)
+		}
+	}
+	if !covOK {
+		t.Errorf("CAKE bandwidth CoV %.3f never fell below GOTO's %.3f: constant-bandwidth property not visible",
+			res.Cake.CoV, res.Goto.CoV)
+	}
+	t.Logf("cake: %.2f GB/s mean, %.2f peak, CoV %.3f over %d spans", res.Cake.MeanGBps, res.Cake.PeakGBps, res.Cake.CoV, res.Cake.Spans)
+	t.Logf("goto: %.2f GB/s mean, %.2f peak, CoV %.3f over %d spans", res.Goto.MeanGBps, res.Goto.PeakGBps, res.Goto.CoV, res.Goto.Spans)
+
+	if res.Cake.Spans == 0 || res.Goto.Spans == 0 {
+		t.Fatalf("empty trace: cake %d spans, goto %d", res.Cake.Spans, res.Goto.Spans)
+	}
+	if res.Cake.Dropped != 0 || res.Goto.Dropped != 0 {
+		t.Fatalf("dropped spans: cake %d, goto %d", res.Cake.Dropped, res.Goto.Dropped)
+	}
+
+	// Export exactly as cake-bench trace does and validate the JSON.
+	var buf bytes.Buffer
+	err = obs.WriteChromeTrace(&buf,
+		obs.Process{Name: "cake", Rec: res.CakeRec},
+		obs.Process{Name: "goto", Rec: res.GotoRec})
+	if err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("exported trace is not valid Chrome Trace Event JSON: %v", err)
+	}
+	// Per process: pack and compute spans must exist and land on more than
+	// one worker lane.
+	for pid, name := range map[int]string{1: "cake", 2: "goto"} {
+		packLanes := map[int]bool{}
+		computeLanes := map[int]bool{}
+		for _, ev := range trace.TraceEvents {
+			if ev.Pid != pid || ev.Ph != "X" {
+				continue
+			}
+			switch ev.Name {
+			case "pack":
+				packLanes[ev.Tid] = true
+			case "compute":
+				computeLanes[ev.Tid] = true
+			}
+		}
+		if len(packLanes) == 0 || len(computeLanes) == 0 {
+			t.Fatalf("%s: pack lanes %v, compute lanes %v", name, packLanes, computeLanes)
+		}
+		lanes := map[int]bool{}
+		for l := range packLanes {
+			lanes[l] = true
+		}
+		for l := range computeLanes {
+			lanes[l] = true
+		}
+		if len(lanes) < 2 {
+			t.Fatalf("%s: all spans on a single worker lane %v", name, lanes)
+		}
+	}
+
+	// The serialisable result must round-trip: it is what cake-bench writes
+	// to BENCH_bwtimeline.json.
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+	var back TraceBenchResult
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if back.Cake.Executor != "cake" || len(back.Cake.GBperS) != len(res.Cake.GBperS) {
+		t.Fatalf("round-trip lost data: %+v", back.Cake)
+	}
+}

@@ -15,11 +15,15 @@
 package gotoalg
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
+	"unsafe"
 
 	"repro/internal/kernel"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/packing"
 	"repro/internal/platform"
 	"repro/internal/pool"
@@ -104,6 +108,22 @@ type Stats struct {
 	Panels       int   // (jc, pc) panel iterations
 }
 
+// Option adjusts executor behaviour beyond the numeric Config.
+type Option func(*execOptions)
+
+type execOptions struct {
+	rec *obs.Recorder
+}
+
+// WithTrace attaches a span recorder: B-panel packs, per-core A packs and
+// macro-kernel executions are recorded with worker id, panel coordinates
+// and DRAM bytes moved — GOTO's compute spans carry the partial-C
+// read-modify-write traffic CAKE eliminates (§4.4), which is what makes
+// its bandwidth timeline spiky next to CAKE's on the same shape. Pool jobs
+// additionally run under {executor=goto, phase} pprof labels. A nil
+// recorder records nothing.
+func WithTrace(rec *obs.Recorder) Option { return func(o *execOptions) { o.rec = rec } }
+
 // Executor runs GOTO GEMMs with a fixed configuration, reusing buffers and
 // workers across calls.
 type Executor[T matrix.Scalar] struct {
@@ -114,14 +134,31 @@ type Executor[T matrix.Scalar] struct {
 	scratch []*kernel.Scratch[T]
 	bufB    []T
 	bufA    [][]T // one per worker: each core's private L2-resident block
+
+	// Observability (nil/zero unless WithTrace attached a recorder).
+	rec                 *obs.Recorder
+	elemBytes           int64
+	packCtx, computeCtx context.Context
+	curBlk              obs.Block // (ic, pc, jc) grid coordinates being packed
 }
 
 // NewExecutor validates cfg and prepares an executor; p as in core.NewExecutor.
-func NewExecutor[T matrix.Scalar](cfg Config, p *pool.Pool) (*Executor[T], error) {
+func NewExecutor[T matrix.Scalar](cfg Config, p *pool.Pool, opts ...Option) (*Executor[T], error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	var o execOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	e := &Executor[T]{cfg: cfg, kern: kernel.Best[T](cfg.MR, cfg.NR)}
+	var zero T
+	e.elemBytes = int64(unsafe.Sizeof(zero))
+	if o.rec != nil {
+		e.rec = o.rec
+		e.packCtx = obs.LabelCtx("goto", obs.PhasePack)
+		e.computeCtx = obs.LabelCtx("goto", obs.PhaseCompute)
+	}
 	if p == nil {
 		e.pool = pool.New(cfg.Cores)
 		e.ownPool = true
@@ -152,6 +189,25 @@ func (e *Executor[T]) Close() {
 // Config returns the executor's configuration.
 func (e *Executor[T]) Config() Config { return e.cfg }
 
+// now returns the wall clock for span timing, or 0 when tracing is off.
+func (e *Executor[T]) now() int64 {
+	if e.rec == nil {
+		return 0
+	}
+	return time.Now().UnixNano()
+}
+
+// span records one phase execution that started at t0 (from now()).
+func (e *Executor[T]) span(worker int, ph obs.Phase, blk obs.Block, t0, bytes int64) {
+	if e.rec == nil {
+		return
+	}
+	e.rec.Record(worker, obs.Span{
+		StartNs: t0, DurNs: time.Now().UnixNano() - t0,
+		Bytes: bytes, Block: blk, Phase: ph,
+	})
+}
+
 // Gemm computes C += A×B with the five-loop GOTO schedule.
 func (e *Executor[T]) Gemm(c, a, b *matrix.Matrix[T]) (Stats, error) {
 	matrix.CheckMul(c, a, b)
@@ -168,6 +224,7 @@ func (e *Executor[T]) Gemm(c, a, b *matrix.Matrix[T]) (Stats, error) {
 		ncEff := min(cfg.NC, n-jc)
 		for pc := 0; pc < k; pc += cfg.KC { // loop 4
 			kcEff := min(cfg.KC, k-pc)
+			e.curBlk = obs.Block{K: int32(pc / cfg.KC), N: int32(jc / cfg.NC)}
 			e.packB(b, pc, kcEff, jc, ncEff)
 			st.PackedBElems += int64(kcEff) * int64(ncEff)
 			st.Panels++
@@ -176,17 +233,27 @@ func (e *Executor[T]) Gemm(c, a, b *matrix.Matrix[T]) (Stats, error) {
 			blocks := ceilDiv(m, cfg.MC)
 			// Loop 3 parallelised over cores: each worker packs its own A
 			// block into its private buffer, then updates its C slab.
-			e.pool.For(blocks, func(worker, blk int) {
+			e.pool.ForLabeled(e.computeCtx, blocks, func(worker, blk int) {
 				ic := blk * cfg.MC
 				mcEff := min(cfg.MC, m-ic)
+				coord := obs.Block{M: int32(blk), K: int32(pc / cfg.KC), N: int32(jc / cfg.NC)}
+				u0 := e.now()
 				ap := packing.PackA(e.bufA[worker], a.View(ic, pc, mcEff, kcEff), cfg.MR, 1)
+				e.span(worker, obs.PhasePack, coord, u0, int64(mcEff)*int64(kcEff)*e.elemBytes)
+				u0 = e.now()
 				cv := c.View(ic, jc, mcEff, ncEff)
 				packing.Macro(e.kern, kcEff, ap, bp, cv, e.scratch[worker])
+				// Partial C streams to and from the output matrix: a DRAM
+				// read-modify-write of the mc×nc slab on every pc step —
+				// the traffic §4.4 charges GOTO for.
+				e.span(worker, obs.PhaseCompute, coord, u0, 2*int64(mcEff)*int64(ncEff)*e.elemBytes)
 			})
 			st.PackedAElems += int64(m) * int64(kcEff)
 			st.CStreamElems += int64(m) * int64(ncEff)
 		}
 	}
+	obs.AccountGemm("goto", st.Panels, (st.PackedAElems+st.PackedBElems)*e.elemBytes,
+		0, 0, 0, 0)
 	return st, nil
 }
 
@@ -196,21 +263,23 @@ func (e *Executor[T]) packB(b *matrix.Matrix[T], pc, kcEff, jc, ncEff int) {
 	panels := ceilDiv(ncEff, nr)
 	chunks := min(e.cfg.Cores, panels)
 	perChunk := ceilDiv(panels, chunks)
-	e.pool.ForStatic(chunks, func(_, ch int) {
+	e.pool.ForStaticLabeled(e.packCtx, chunks, func(core, ch int) {
 		p0 := ch * perChunk
 		pn := min(perChunk, panels-p0)
 		if pn <= 0 {
 			return
 		}
+		u0 := e.now()
 		c0 := p0 * nr
 		cols := min(pn*nr, ncEff-c0)
 		packing.PackB(e.bufB[c0*kcEff:], b.View(pc, jc+c0, kcEff, cols), nr)
+		e.span(core, obs.PhasePack, e.curBlk, u0, int64(kcEff)*int64(cols)*e.elemBytes)
 	})
 }
 
 // Gemm is the one-shot entry point.
-func Gemm[T matrix.Scalar](c, a, b *matrix.Matrix[T], cfg Config) (Stats, error) {
-	e, err := NewExecutor[T](cfg, nil)
+func Gemm[T matrix.Scalar](c, a, b *matrix.Matrix[T], cfg Config, opts ...Option) (Stats, error) {
+	e, err := NewExecutor[T](cfg, nil, opts...)
 	if err != nil {
 		return Stats{}, err
 	}

@@ -1,0 +1,72 @@
+package gotoalg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/obs"
+)
+
+func TestTraceGotoByteAccounting(t *testing.T) {
+	const elem = 4 // float32
+	cfg := Config{Cores: 2, MC: 16, KC: 16, NC: 32, MR: 8, NR: 8}
+	rec := obs.NewRecorder(cfg.Cores, 0)
+
+	rng := rand.New(rand.NewSource(31))
+	m, k, n := 50, 40, 70 // ragged against every block dim
+	a := matrix.New[float32](m, k)
+	b := matrix.New[float32](k, n)
+	a.Randomize(rng)
+	b.Randomize(rng)
+	c := matrix.New[float32](m, n)
+	want := c.Clone()
+
+	st, err := Gemm(c, a, b, cfg, WithTrace(rec))
+	if err != nil {
+		t.Fatalf("Gemm: %v", err)
+	}
+	matrix.NaiveGemm(want, a, b)
+	if !c.AlmostEqual(want, k, 1e-4) {
+		t.Fatalf("traced GOTO wrong result: max diff %g", c.MaxAbsDiff(want))
+	}
+
+	if rec.Dropped() != 0 {
+		t.Fatalf("recorder dropped %d spans", rec.Dropped())
+	}
+	bytes := map[obs.Phase]int64{}
+	count := map[obs.Phase]int{}
+	for _, s := range rec.Spans() {
+		bytes[s.Phase] += s.Bytes
+		count[s.Phase]++
+	}
+	if count[obs.PhasePack] == 0 || count[obs.PhaseCompute] == 0 {
+		t.Fatalf("missing phases: %v", count)
+	}
+	if want := (st.PackedAElems + st.PackedBElems) * elem; bytes[obs.PhasePack] != want {
+		t.Fatalf("pack span bytes = %d, want %d", bytes[obs.PhasePack], want)
+	}
+	// GOTO streams partial C to DRAM and reads it back every pc step: the
+	// compute spans carry that 2× read-modify-write traffic (§4.4).
+	if want := 2 * st.CStreamElems * elem; bytes[obs.PhaseCompute] != want {
+		t.Fatalf("compute span bytes = %d, want %d (2× CStreamElems)", bytes[obs.PhaseCompute], want)
+	}
+}
+
+func TestGotoUntracedStillWorks(t *testing.T) {
+	cfg := Config{Cores: 2, MC: 16, KC: 16, NC: 32, MR: 8, NR: 8}
+	rng := rand.New(rand.NewSource(32))
+	a := matrix.New[float64](30, 20)
+	b := matrix.New[float64](20, 40)
+	a.Randomize(rng)
+	b.Randomize(rng)
+	c := matrix.New[float64](30, 40)
+	want := c.Clone()
+	if _, err := Gemm(c, a, b, cfg); err != nil {
+		t.Fatalf("Gemm: %v", err)
+	}
+	matrix.NaiveGemm(want, a, b)
+	if !c.AlmostEqual(want, 20, 1e-12) {
+		t.Fatalf("untraced GOTO wrong result: max diff %g", c.MaxAbsDiff(want))
+	}
+}

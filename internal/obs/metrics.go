@@ -1,0 +1,93 @@
+// Expvar-backed metrics for long-running hosts: a process that embeds the
+// executors (the drop-in-library usage of §5) can expose cumulative
+// per-executor counters — GEMMs, blocks, packed/reused bytes, phase and
+// overlap times — on the standard /debug/vars endpoint. Accounting is off
+// by default and costs the executors one atomic load per GEMM until
+// EnableMetrics is called; it is per-call, not per-block, so it never
+// touches the hot path.
+package obs
+
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+)
+
+// ExecMetrics is one executor family's cumulative counter set.
+type ExecMetrics struct {
+	Gemms        expvar.Int
+	Blocks       expvar.Int
+	PackedBytes  expvar.Int
+	ReusedBytes  expvar.Int
+	PackNanos    expvar.Int
+	ComputeNanos expvar.Int
+	OverlapNanos expvar.Int
+}
+
+func (m *ExecMetrics) publishInto(dst *expvar.Map) {
+	dst.Set("gemms", &m.Gemms)
+	dst.Set("blocks", &m.Blocks)
+	dst.Set("packed_bytes", &m.PackedBytes)
+	dst.Set("reused_bytes", &m.ReusedBytes)
+	dst.Set("pack_nanos", &m.PackNanos)
+	dst.Set("compute_nanos", &m.ComputeNanos)
+	dst.Set("overlap_nanos", &m.OverlapNanos)
+}
+
+var (
+	metricsOn   atomic.Bool
+	metricsMu   sync.Mutex
+	metricsRoot *expvar.Map
+	metricsByEx = map[string]*ExecMetrics{}
+)
+
+// EnableMetrics switches GEMM accounting on and publishes the registry as
+// the expvar "cake_metrics" map (idempotent — expvar forbids duplicate
+// names, so the map is created once and reused).
+func EnableMetrics() {
+	metricsMu.Lock()
+	defer metricsMu.Unlock()
+	if metricsRoot == nil {
+		metricsRoot = expvar.NewMap("cake_metrics")
+	}
+	metricsOn.Store(true)
+}
+
+// DisableMetrics stops accounting; published values remain visible.
+func DisableMetrics() { metricsOn.Store(false) }
+
+// MetricsFor returns the counter set for an executor family ("cake",
+// "goto"), creating and publishing it on first use. Returns nil until
+// EnableMetrics has been called.
+func MetricsFor(executor string) *ExecMetrics {
+	if !metricsOn.Load() {
+		return nil
+	}
+	metricsMu.Lock()
+	defer metricsMu.Unlock()
+	m, ok := metricsByEx[executor]
+	if !ok {
+		m = &ExecMetrics{}
+		metricsByEx[executor] = m
+		sub := new(expvar.Map).Init()
+		m.publishInto(sub)
+		metricsRoot.Set(executor, sub)
+	}
+	return m
+}
+
+// AccountGemm folds one finished GEMM's statistics into the executor's
+// cumulative counters. A single atomic load when metrics are disabled.
+func AccountGemm(executor string, blocks int, packedBytes, reusedBytes, packNs, computeNs, overlapNs int64) {
+	m := MetricsFor(executor)
+	if m == nil {
+		return
+	}
+	m.Gemms.Add(1)
+	m.Blocks.Add(int64(blocks))
+	m.PackedBytes.Add(packedBytes)
+	m.ReusedBytes.Add(reusedBytes)
+	m.PackNanos.Add(packNs)
+	m.ComputeNanos.Add(computeNs)
+	m.OverlapNanos.Add(overlapNs)
+}

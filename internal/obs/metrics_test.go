@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"testing"
+)
+
+func TestMetricsDisabledByDefault(t *testing.T) {
+	DisableMetrics()
+	if m := MetricsFor("cake"); m != nil {
+		t.Fatalf("MetricsFor returned %v while disabled", m)
+	}
+	AccountGemm("cake", 1, 1, 1, 1, 1, 1) // must be a no-op, not a panic
+}
+
+func TestMetricsAccounting(t *testing.T) {
+	EnableMetrics()
+	defer DisableMetrics()
+	EnableMetrics() // idempotent: expvar forbids re-registering the map
+
+	base := MetricsFor("cake").Gemms.Value()
+	AccountGemm("cake", 7, 100, 50, 10, 20, 5)
+	AccountGemm("cake", 3, 900, 0, 30, 40, 0)
+
+	m := MetricsFor("cake")
+	if got := m.Gemms.Value() - base; got != 2 {
+		t.Fatalf("Gemms delta = %d, want 2", got)
+	}
+	checks := []struct {
+		name string
+		v    *expvar.Int
+		min  int64
+	}{
+		{"blocks", &m.Blocks, 10},
+		{"packed_bytes", &m.PackedBytes, 1000},
+		{"reused_bytes", &m.ReusedBytes, 50},
+		{"pack_nanos", &m.PackNanos, 40},
+		{"compute_nanos", &m.ComputeNanos, 60},
+		{"overlap_nanos", &m.OverlapNanos, 5},
+	}
+	for _, c := range checks {
+		if c.v.Value() < c.min {
+			t.Fatalf("%s = %d, want ≥ %d", c.name, c.v.Value(), c.min)
+		}
+	}
+
+	// The registry must be visible on the expvar endpoint as valid JSON.
+	root := expvar.Get("cake_metrics")
+	if root == nil {
+		t.Fatal("cake_metrics not published")
+	}
+	var decoded map[string]map[string]int64
+	if err := json.Unmarshal([]byte(root.String()), &decoded); err != nil {
+		t.Fatalf("cake_metrics expvar is not valid JSON: %v\n%s", err, root.String())
+	}
+	if _, ok := decoded["cake"]["gemms"]; !ok {
+		t.Fatalf("cake sub-map missing gemms: %v", decoded)
+	}
+}
+
+func TestMetricsSeparateExecutors(t *testing.T) {
+	EnableMetrics()
+	defer DisableMetrics()
+	cakeBase := MetricsFor("cake").Blocks.Value()
+	gotoBase := MetricsFor("goto").Blocks.Value()
+	AccountGemm("goto", 11, 0, 0, 0, 0, 0)
+	if got := MetricsFor("goto").Blocks.Value() - gotoBase; got != 11 {
+		t.Fatalf("goto blocks delta = %d, want 11", got)
+	}
+	if got := MetricsFor("cake").Blocks.Value() - cakeBase; got != 0 {
+		t.Fatalf("cake blocks delta = %d, want 0 (cross-talk)", got)
+	}
+}

@@ -1,0 +1,223 @@
+// Package obs is the observability layer for the CAKE and GOTO executors.
+// The paper's central claim is temporal — CAKE's K-first CB-block schedule
+// keeps DRAM traffic constant over time while GOTO's demand spikes (§3,
+// §5.2) — so aggregate counters are not enough: this package records
+// per-worker pack/compute/unpack spans on the execution hot path, exports
+// them as Chrome Trace Event JSON (viewable in Perfetto), aggregates them
+// into bandwidth timelines whose coefficient of variation is the empirical
+// test of the constant-bandwidth property, and maintains an expvar-backed
+// metrics registry for long-running hosts.
+//
+// The Recorder is designed for the executors' inner loops: one fixed-size
+// ring buffer per worker, an atomic cursor per ring, no locks, and no
+// allocation on the record path. A nil *Recorder is valid and records
+// nothing, so executors thread a single pointer through and pay one
+// predictable branch when tracing is off.
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Phase classifies what a span's worker was doing.
+type Phase uint8
+
+const (
+	// PhasePack: moving operand elements from the source matrices into a
+	// packed panel — the executor's DRAM read stream.
+	PhasePack Phase = iota
+	// PhaseCompute: macro-kernel execution. CAKE computes out of
+	// cache-resident panels (spans carry zero DRAM bytes); GOTO streams
+	// partial C results to and from the output matrix during compute, so
+	// its compute spans carry that read-modify-write traffic.
+	PhaseCompute
+	// PhaseUnpack: folding a completed CB block's resident C surface back
+	// into the output matrix (a DRAM read-modify-write).
+	PhaseUnpack
+	// PhaseReuse: a panel-cache hit — a pack that was skipped because the
+	// packed panel was already resident. Zero duration; Bytes holds the
+	// DRAM traffic *avoided*, and timelines exclude these spans.
+	PhaseReuse
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhasePack:
+		return "pack"
+	case PhaseCompute:
+		return "compute"
+	case PhaseUnpack:
+		return "unpack"
+	case PhaseReuse:
+		return "reuse"
+	default:
+		return "unknown"
+	}
+}
+
+// Block identifies the CB-block (or GOTO panel) grid coordinates a span
+// belongs to.
+type Block struct {
+	M, K, N int32
+}
+
+// Span is one recorded phase execution. Bytes is the DRAM traffic the span
+// moved (zero for cache-resident compute; the avoided traffic for
+// PhaseReuse).
+type Span struct {
+	StartNs int64 // wall-clock start, UnixNano
+	DurNs   int64 // duration (0 for instant events)
+	Bytes   int64
+	Block   Block
+	Worker  int32
+	Phase   Phase
+}
+
+// EndNs returns the span's wall-clock end.
+func (s Span) EndNs() int64 { return s.StartNs + s.DurNs }
+
+// lane is one worker's span ring. The atomic cursor makes concurrent
+// recording into the same lane safe (distinct goroutines claim distinct
+// slots), which matters because the pipelined executor's async pack jobs
+// and static compute jobs can address the same worker index concurrently.
+// The pad keeps neighbouring lanes' cursors off one cache line.
+type lane struct {
+	spans []Span
+	n     atomic.Int64
+	_     [32]byte
+}
+
+// Recorder collects spans from a fixed set of workers plus one extra
+// "scheduler" lane for orchestrator-side events (panel-cache hits). Each
+// lane is a fixed-capacity ring: when full, the oldest spans are
+// overwritten and counted in Dropped.
+type Recorder struct {
+	lanes   []lane
+	perLane int
+}
+
+// DefaultSpansPerWorker bounds a lane when the caller passes a
+// non-positive capacity: enough for every phase of several thousand CB
+// blocks, ~1.5 MiB per worker.
+const DefaultSpansPerWorker = 1 << 15
+
+// NewRecorder returns a recorder for workers execution lanes (plus the
+// scheduler lane), each holding the most recent spansPerWorker spans.
+func NewRecorder(workers, spansPerWorker int) *Recorder {
+	if workers < 1 {
+		workers = 1
+	}
+	if spansPerWorker <= 0 {
+		spansPerWorker = DefaultSpansPerWorker
+	}
+	r := &Recorder{lanes: make([]lane, workers+1), perLane: spansPerWorker}
+	for i := range r.lanes {
+		r.lanes[i].spans = make([]Span, spansPerWorker)
+	}
+	return r
+}
+
+// Workers returns the number of execution lanes (excluding the scheduler
+// lane).
+func (r *Recorder) Workers() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.lanes) - 1
+}
+
+// SchedulerLane is the worker index of the extra orchestrator lane.
+func (r *Recorder) SchedulerLane() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.lanes) - 1
+}
+
+// Record stores s in the given worker's ring. Safe on a nil receiver (a
+// no-op), lock-free, and allocation-free; worker indices outside
+// [0, SchedulerLane()] are clamped onto the scheduler lane rather than
+// panicking, so a mis-sized recorder degrades instead of crashing a GEMM.
+func (r *Recorder) Record(worker int, s Span) {
+	if r == nil {
+		return
+	}
+	if worker < 0 || worker >= len(r.lanes) {
+		worker = len(r.lanes) - 1
+	}
+	l := &r.lanes[worker]
+	i := l.n.Add(1) - 1
+	s.Worker = int32(worker)
+	l.spans[i%int64(len(l.spans))] = s
+}
+
+// Dropped returns how many spans have been overwritten by ring wrap-around
+// since the last Reset.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	var d int64
+	for i := range r.lanes {
+		if n := r.lanes[i].n.Load(); n > int64(r.perLane) {
+			d += n - int64(r.perLane)
+		}
+	}
+	return d
+}
+
+// Reset forgets all recorded spans. Not safe to call concurrently with
+// Record.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	for i := range r.lanes {
+		r.lanes[i].n.Store(0)
+	}
+}
+
+// LaneSpans returns a copy of one lane's retained spans, oldest first.
+func (r *Recorder) LaneSpans(worker int) []Span {
+	if r == nil || worker < 0 || worker >= len(r.lanes) {
+		return nil
+	}
+	l := &r.lanes[worker]
+	n := l.n.Load()
+	if n == 0 {
+		return nil
+	}
+	cap64 := int64(len(l.spans))
+	if n <= cap64 {
+		out := make([]Span, n)
+		copy(out, l.spans[:n])
+		return out
+	}
+	// Wrapped: slot n%cap is the oldest retained span.
+	out := make([]Span, cap64)
+	head := n % cap64
+	copy(out, l.spans[head:])
+	copy(out[cap64-head:], l.spans[:head])
+	return out
+}
+
+// Spans returns a copy of every retained span across all lanes, sorted by
+// start time. Call after the traced execution has finished (the executors'
+// pool barriers establish the necessary happens-before).
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	var out []Span
+	for w := range r.lanes {
+		out = append(out, r.LaneSpans(w)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StartNs != out[j].StartNs {
+			return out[i].StartNs < out[j].StartNs
+		}
+		return out[i].Worker < out[j].Worker
+	})
+	return out
+}

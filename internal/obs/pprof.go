@@ -1,0 +1,18 @@
+// pprof label plumbing: traced executions tag their worker-pool jobs with
+// {executor, phase} goroutine labels, so CPU profiles taken during a run
+// split samples by executor and phase (pprof -tagfocus phase=pack). The
+// contexts are built once per executor at construction; the pool applies
+// them per job, never per work item.
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+// LabelCtx returns a context carrying pprof labels identifying an
+// executor's phase, for use with the worker pool's *Labeled variants.
+func LabelCtx(executor string, phase Phase) context.Context {
+	return pprof.WithLabels(context.Background(),
+		pprof.Labels("executor", executor, "phase", phase.String()))
+}

@@ -1,0 +1,138 @@
+// Bandwidth timelines: the empirical check of the paper's constant-
+// bandwidth property. Span bytes are bucketed into fixed time windows;
+// a CAKE run should produce a flat series (low coefficient of variation)
+// where GOTO's alternating pack bursts and partial-C streaming produce a
+// spiky one on the same shape (§3, §5.2).
+package obs
+
+import "math"
+
+// Timeline is DRAM traffic bucketed into fixed wall-clock windows covering
+// one traced execution. Bytes[i] is the traffic attributed to
+// [OriginNs + i·BucketNs, OriginNs + (i+1)·BucketNs).
+type Timeline struct {
+	OriginNs int64     `json:"origin_ns"`
+	BucketNs int64     `json:"bucket_ns"`
+	Bytes    []float64 `json:"bytes"`
+}
+
+// NewTimeline buckets the spans' bytes into windows of bucketNs
+// nanoseconds. A span's bytes are spread over the buckets it overlaps in
+// proportion to the time spent in each (so a span straddling a boundary
+// splits, and a long pack burst raises several buckets); zero-duration
+// spans credit their containing bucket in full. PhaseReuse spans are
+// excluded — they represent traffic that never reached DRAM. Buckets the
+// execution passed through without traffic stay zero; they count toward
+// the variation statistics, exactly like an idle memory bus.
+func NewTimeline(spans []Span, bucketNs int64) Timeline {
+	if bucketNs <= 0 {
+		bucketNs = 1
+	}
+	minStart, maxEnd := int64(math.MaxInt64), int64(math.MinInt64)
+	any := false
+	for _, s := range spans {
+		if s.Phase == PhaseReuse {
+			continue
+		}
+		any = true
+		minStart = min(minStart, s.StartNs)
+		maxEnd = max(maxEnd, s.EndNs())
+	}
+	if !any {
+		return Timeline{BucketNs: bucketNs}
+	}
+	n := int((maxEnd - minStart + bucketNs - 1) / bucketNs) // ceil; no trailing empty bucket when the range is boundary-aligned
+	if n < 1 {
+		n = 1
+	}
+	t := Timeline{OriginNs: minStart, BucketNs: bucketNs, Bytes: make([]float64, n)}
+	for _, s := range spans {
+		if s.Phase == PhaseReuse || s.Bytes == 0 {
+			continue
+		}
+		start := s.StartNs - minStart
+		if s.DurNs <= 0 {
+			b := start / bucketNs
+			if b >= int64(n) { // instant span exactly on the end boundary
+				b = int64(n) - 1
+			}
+			t.Bytes[b] += float64(s.Bytes)
+			continue
+		}
+		end := start + s.DurNs
+		perNs := float64(s.Bytes) / float64(s.DurNs)
+		for b := start / bucketNs; b*bucketNs < end; b++ {
+			lo := max(start, b*bucketNs)
+			hi := min(end, (b+1)*bucketNs)
+			t.Bytes[b] += perNs * float64(hi-lo)
+		}
+	}
+	return t
+}
+
+// NewTimelineN buckets the spans into exactly buckets windows spanning the
+// traced duration, so two executions of different lengths can be compared
+// bucket-for-bucket.
+func NewTimelineN(spans []Span, buckets int) Timeline {
+	if buckets < 1 {
+		buckets = 1
+	}
+	minStart, maxEnd := int64(math.MaxInt64), int64(math.MinInt64)
+	any := false
+	for _, s := range spans {
+		if s.Phase == PhaseReuse {
+			continue
+		}
+		any = true
+		minStart = min(minStart, s.StartNs)
+		maxEnd = max(maxEnd, s.EndNs())
+	}
+	if !any {
+		return Timeline{BucketNs: 1}
+	}
+	bucketNs := (maxEnd - minStart + int64(buckets)) / int64(buckets) // ceil, ≥1
+	if bucketNs < 1 {
+		bucketNs = 1
+	}
+	return NewTimeline(spans, bucketNs)
+}
+
+// BWStats summarises a timeline as bandwidth numbers.
+type BWStats struct {
+	Buckets  int     `json:"buckets"`
+	MeanBps  float64 `json:"mean_bps"` // mean DRAM bandwidth over the run
+	PeakBps  float64 `json:"peak_bps"` // busiest bucket
+	CoV      float64 `json:"cov"`      // stddev/mean of per-bucket traffic
+	TotalB   float64 `json:"total_bytes"`
+	SpanNs   int64   `json:"span_ns"` // wall-clock extent covered
+	BucketNs int64   `json:"bucket_ns"`
+}
+
+// Stats reduces the timeline to mean/peak bandwidth and the coefficient of
+// variation — the paper's constant-bandwidth property predicts a low CoV
+// for CAKE and a high one for GOTO on the same shape.
+func (t Timeline) Stats() BWStats {
+	st := BWStats{Buckets: len(t.Bytes), BucketNs: t.BucketNs, SpanNs: int64(len(t.Bytes)) * t.BucketNs}
+	if len(t.Bytes) == 0 {
+		return st
+	}
+	var sum, peak float64
+	for _, b := range t.Bytes {
+		sum += b
+		peak = math.Max(peak, b)
+	}
+	mean := sum / float64(len(t.Bytes))
+	var varSum float64
+	for _, b := range t.Bytes {
+		d := b - mean
+		varSum += d * d
+	}
+	secPerBucket := float64(t.BucketNs) / 1e9
+	st.TotalB = sum
+	st.MeanBps = mean / secPerBucket
+	st.PeakBps = peak / secPerBucket
+	if mean > 0 {
+		st.CoV = math.Sqrt(varSum/float64(len(t.Bytes))) / mean
+	}
+	return st
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+		t.Fatalf("%s = %g, want %g", name, got, want)
+	}
+}
+
+func TestTimelineStraddlingSpanSplitsProportionally(t *testing.T) {
+	// The bucket grid starts at the earliest span. A zero-byte span at 0
+	// anchors the origin; 100 bytes over [50, 150) then straddle the
+	// boundary at 100 and split evenly between buckets 0 and 1.
+	spans := []Span{
+		span(0, 10, 0, PhaseCompute),
+		span(50, 100, 100, PhasePack),
+	}
+	tl := NewTimeline(spans, 100)
+	if tl.OriginNs != 0 || tl.BucketNs != 100 {
+		t.Fatalf("origin/bucket = %d/%d", tl.OriginNs, tl.BucketNs)
+	}
+	if len(tl.Bytes) != 2 {
+		t.Fatalf("buckets = %d, want 2", len(tl.Bytes))
+	}
+	approx(t, "bucket 0", tl.Bytes[0], 50)
+	approx(t, "bucket 1", tl.Bytes[1], 50)
+	// Uneven straddle: 75/25 split of the same span on a shifted grid.
+	tl = NewTimeline([]Span{span(0, 10, 0, PhaseCompute), span(50, 100, 100, PhasePack)}, 125)
+	approx(t, "shifted bucket 0", tl.Bytes[0], 75)
+	approx(t, "shifted bucket 1", tl.Bytes[1], 25)
+}
+
+func TestTimelineLongSpanRaisesManyBuckets(t *testing.T) {
+	// 400 bytes over [0, 400) with 100ns buckets: 100 bytes each.
+	tl := NewTimeline([]Span{span(0, 400, 400, PhaseCompute)}, 100)
+	if len(tl.Bytes) != 4 {
+		t.Fatalf("buckets = %d, want 4", len(tl.Bytes))
+	}
+	for i, b := range tl.Bytes {
+		approx(t, "bucket", b, 100)
+		_ = i
+	}
+}
+
+func TestTimelineEmptyBucketsCount(t *testing.T) {
+	// Traffic in buckets 0 and 3; 1 and 2 stay zero but are present and
+	// depress the mean / raise the CoV, like an idle bus.
+	spans := []Span{
+		span(0, 100, 100, PhasePack),
+		span(300, 100, 100, PhasePack),
+	}
+	tl := NewTimeline(spans, 100)
+	if len(tl.Bytes) != 4 {
+		t.Fatalf("buckets = %d, want 4", len(tl.Bytes))
+	}
+	approx(t, "bucket 1", tl.Bytes[1], 0)
+	approx(t, "bucket 2", tl.Bytes[2], 0)
+	st := tl.Stats()
+	approx(t, "mean bytes/bucket", st.MeanBps*float64(tl.BucketNs)/1e9, 50)
+	approx(t, "CoV", st.CoV, 1) // two at 100, two at 0: stddev = mean
+}
+
+func TestTimelineZeroDurationSpanCreditsContainingBucket(t *testing.T) {
+	tl := NewTimeline([]Span{
+		span(0, 100, 10, PhasePack),
+		span(150, 0, 70, PhaseUnpack), // instant, inside bucket 1
+	}, 100)
+	approx(t, "bucket 0", tl.Bytes[0], 10)
+	approx(t, "bucket 1", tl.Bytes[1], 70)
+}
+
+func TestTimelineExcludesReuseSpans(t *testing.T) {
+	spans := []Span{
+		span(0, 100, 100, PhasePack),
+		span(500, 0, 1e6, PhaseReuse), // avoided traffic: not DRAM bytes
+	}
+	tl := NewTimeline(spans, 100)
+	if len(tl.Bytes) != 1 {
+		t.Fatalf("buckets = %d, want 1 (reuse span must not extend the range)", len(tl.Bytes))
+	}
+	approx(t, "total", tl.Stats().TotalB, 100)
+}
+
+func TestTimelineNoSpans(t *testing.T) {
+	tl := NewTimeline(nil, 100)
+	if len(tl.Bytes) != 0 {
+		t.Fatalf("buckets = %d, want 0", len(tl.Bytes))
+	}
+	st := tl.Stats()
+	if st.MeanBps != 0 || st.PeakBps != 0 || st.CoV != 0 {
+		t.Fatalf("stats of empty timeline = %+v", st)
+	}
+	// Reuse-only input behaves the same.
+	tl = NewTimeline([]Span{span(0, 0, 5, PhaseReuse)}, 100)
+	if len(tl.Bytes) != 0 {
+		t.Fatalf("reuse-only timeline has %d buckets", len(tl.Bytes))
+	}
+}
+
+func TestTimelineConservesBytes(t *testing.T) {
+	spans := []Span{
+		span(13, 377, 1000, PhasePack),
+		span(250, 999, 12345, PhaseCompute),
+		span(700, 1, 7, PhaseUnpack),
+		span(900, 0, 3, PhaseUnpack),
+	}
+	tl := NewTimeline(spans, 97) // bucket size not dividing anything evenly
+	approx(t, "total bytes", tl.Stats().TotalB, 1000+12345+7+3)
+}
+
+func TestNewTimelineNFixedBucketCount(t *testing.T) {
+	spans := []Span{
+		span(0, 1000, 500, PhasePack),
+		span(5000, 1000, 500, PhasePack),
+	}
+	tl := NewTimelineN(spans, 48)
+	if len(tl.Bytes) > 48 {
+		t.Fatalf("buckets = %d, want ≤ 48", len(tl.Bytes))
+	}
+	approx(t, "total bytes", tl.Stats().TotalB, 1000)
+	if tl2 := NewTimelineN(nil, 48); len(tl2.Bytes) != 0 {
+		t.Fatalf("empty input produced %d buckets", len(tl2.Bytes))
+	}
+}
+
+func TestBWStatsMath(t *testing.T) {
+	// Hand-built timeline: buckets of 1µs holding 1000/3000/2000 bytes.
+	tl := Timeline{BucketNs: 1000, Bytes: []float64{1000, 3000, 2000}}
+	st := tl.Stats()
+	approx(t, "MeanBps", st.MeanBps, 2000/1e-6)
+	approx(t, "PeakBps", st.PeakBps, 3000/1e-6)
+	// mean 2000, deviations (-1000, 1000, 0) → stddev sqrt(2/3)*1000
+	approx(t, "CoV", st.CoV, math.Sqrt(2.0/3.0)*1000/2000)
+	approx(t, "TotalB", st.TotalB, 6000)
+	if st.SpanNs != 3000 || st.Buckets != 3 {
+		t.Fatalf("SpanNs/Buckets = %d/%d", st.SpanNs, st.Buckets)
+	}
+}
+
+func TestCoVDistinguishesFlatFromSpiky(t *testing.T) {
+	flat := Timeline{BucketNs: 1, Bytes: []float64{10, 10, 10, 10}}
+	spiky := Timeline{BucketNs: 1, Bytes: []float64{40, 0, 0, 0}}
+	if f, s := flat.Stats().CoV, spiky.Stats().CoV; !(f < s) {
+		t.Fatalf("flat CoV %g not below spiky CoV %g", f, s)
+	}
+	if cov := flat.Stats().CoV; cov != 0 {
+		t.Fatalf("perfectly flat CoV = %g, want 0", cov)
+	}
+}

@@ -1,0 +1,93 @@
+// Chrome Trace Event Format export. The produced JSON loads directly into
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing: one process per
+// traced executor, one thread lane per worker, "X" complete events for
+// pack/compute/unpack spans and "i" instant events for panel-cache hits —
+// so a pipelined run renders pack/compute overlap and reuse at a glance.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Process names one recorder's lane group in the exported trace, e.g.
+// "cake" and "goto" side by side.
+type Process struct {
+	Name string
+	Rec  *Recorder
+}
+
+// traceEvent is one Trace Event Format entry. Timestamps and durations are
+// microseconds (the format's unit).
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports the recorders' spans as Chrome Trace Event JSON.
+// Each process's timestamps are shifted so its earliest span starts at
+// t=0, letting sequentially captured executions (CAKE then GOTO on the
+// same shape) line up for visual comparison.
+func WriteChromeTrace(w io.Writer, procs ...Process) error {
+	f := traceFile{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{}}
+	for pi, p := range procs {
+		pid := pi + 1
+		f.TraceEvents = append(f.TraceEvents, traceEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": p.Name},
+		})
+		spans := p.Rec.Spans()
+		if len(spans) == 0 {
+			continue
+		}
+		origin := spans[0].StartNs
+		seen := map[int32]bool{}
+		for _, s := range spans {
+			if !seen[s.Worker] {
+				seen[s.Worker] = true
+				name := fmt.Sprintf("worker %d", s.Worker)
+				if int(s.Worker) == p.Rec.SchedulerLane() {
+					name = "scheduler"
+				}
+				f.TraceEvents = append(f.TraceEvents, traceEvent{
+					Name: "thread_name", Ph: "M", Pid: pid, Tid: int(s.Worker),
+					Args: map[string]any{"name": name},
+				})
+			}
+			ev := traceEvent{
+				Name: s.Phase.String(),
+				Ts:   float64(s.StartNs-origin) / 1e3,
+				Pid:  pid,
+				Tid:  int(s.Worker),
+				Args: map[string]any{
+					"block": fmt.Sprintf("(%d,%d,%d)", s.Block.M, s.Block.K, s.Block.N),
+					"bytes": s.Bytes,
+				},
+			}
+			if s.Phase == PhaseReuse {
+				ev.Ph, ev.S = "i", "t"
+				ev.Args["avoided_bytes"] = s.Bytes
+				delete(ev.Args, "bytes")
+			} else {
+				ev.Ph = "X"
+				dur := float64(s.DurNs) / 1e3
+				ev.Dur = &dur
+			}
+			f.TraceEvents = append(f.TraceEvents, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// decodedEvent mirrors the subset of Trace Event Format fields the tests
+// assert on; decoding through it also validates the exported JSON shape.
+type decodedEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s"`
+	Args map[string]any `json:"args"`
+}
+
+type decodedFile struct {
+	TraceEvents     []decodedEvent `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+}
+
+func exportAndDecode(t *testing.T, procs ...Process) decodedFile {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, procs...); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var f decodedFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	return f
+}
+
+func TestWriteChromeTraceEvents(t *testing.T) {
+	r := NewRecorder(2, 8)
+	r.Record(0, Span{StartNs: 1000, DurNs: 500, Bytes: 64, Block: Block{M: 1, K: 2, N: 3}, Phase: PhasePack})
+	r.Record(1, Span{StartNs: 1200, DurNs: 800, Bytes: 0, Phase: PhaseCompute})
+	r.Record(r.SchedulerLane(), Span{StartNs: 1300, Bytes: 4096, Phase: PhaseReuse})
+
+	f := exportAndDecode(t, Process{Name: "cake", Rec: r})
+	if f.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+
+	var procName, packLane, computeLane *decodedEvent
+	var reuse *decodedEvent
+	threadNames := map[int]string{}
+	for i := range f.TraceEvents {
+		ev := &f.TraceEvents[i]
+		switch {
+		case ev.Ph == "M" && ev.Name == "process_name":
+			procName = ev
+		case ev.Ph == "M" && ev.Name == "thread_name":
+			threadNames[ev.Tid], _ = ev.Args["name"].(string)
+		case ev.Ph == "X" && ev.Name == "pack":
+			packLane = ev
+		case ev.Ph == "X" && ev.Name == "compute":
+			computeLane = ev
+		case ev.Ph == "i":
+			reuse = ev
+		}
+	}
+	if procName == nil || procName.Pid != 1 {
+		t.Fatalf("missing process_name metadata: %+v", procName)
+	}
+	if name, _ := procName.Args["name"].(string); name != "cake" {
+		t.Fatalf("process name = %q", name)
+	}
+	if packLane == nil || computeLane == nil {
+		t.Fatalf("missing pack/compute X events")
+	}
+	if packLane.Tid == computeLane.Tid {
+		t.Fatalf("pack and compute landed on the same lane tid=%d", packLane.Tid)
+	}
+	// First span defines the origin: ts 0, later span offset in µs.
+	if packLane.Ts != 0 {
+		t.Fatalf("earliest span ts = %g, want 0", packLane.Ts)
+	}
+	if computeLane.Ts != 0.2 { // (1200-1000) ns = 0.2 µs
+		t.Fatalf("compute ts = %g µs, want 0.2", computeLane.Ts)
+	}
+	if packLane.Dur != 0.5 {
+		t.Fatalf("pack dur = %g µs, want 0.5", packLane.Dur)
+	}
+	if blk, _ := packLane.Args["block"].(string); blk != "(1,2,3)" {
+		t.Fatalf("pack block arg = %q", blk)
+	}
+	if reuse == nil || reuse.S != "t" {
+		t.Fatalf("reuse instant event missing or unscoped: %+v", reuse)
+	}
+	if av, _ := reuse.Args["avoided_bytes"].(float64); av != 4096 {
+		t.Fatalf("avoided_bytes = %v", reuse.Args["avoided_bytes"])
+	}
+	if threadNames[2] != "scheduler" {
+		t.Fatalf("scheduler lane name = %q", threadNames[2])
+	}
+	if threadNames[0] != "worker 0" || threadNames[1] != "worker 1" {
+		t.Fatalf("worker lane names = %v", threadNames)
+	}
+}
+
+func TestWriteChromeTraceMultipleProcesses(t *testing.T) {
+	r1 := NewRecorder(1, 4)
+	r1.Record(0, Span{StartNs: 100, DurNs: 10, Bytes: 1, Phase: PhasePack})
+	r2 := NewRecorder(1, 4)
+	r2.Record(0, Span{StartNs: 9000, DurNs: 10, Bytes: 1, Phase: PhasePack})
+
+	f := exportAndDecode(t, Process{Name: "cake", Rec: r1}, Process{Name: "goto", Rec: r2})
+	pids := map[int]bool{}
+	for _, ev := range f.TraceEvents {
+		pids[ev.Pid] = true
+		// Per-process origin normalisation: every span starts at ts 0 here.
+		if ev.Ph == "X" && ev.Ts != 0 {
+			t.Fatalf("pid %d span ts = %g, want 0 (per-process origin)", ev.Pid, ev.Ts)
+		}
+	}
+	if !pids[1] || !pids[2] {
+		t.Fatalf("expected pids 1 and 2, got %v", pids)
+	}
+}
+
+func TestWriteChromeTraceEmptyRecorder(t *testing.T) {
+	f := exportAndDecode(t, Process{Name: "idle", Rec: NewRecorder(1, 4)})
+	// Just the process_name metadata; still a valid file.
+	if len(f.TraceEvents) != 1 || f.TraceEvents[0].Ph != "M" {
+		t.Fatalf("events = %+v", f.TraceEvents)
+	}
+}

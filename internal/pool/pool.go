@@ -15,8 +15,10 @@
 package pool
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 )
@@ -26,6 +28,12 @@ type job struct {
 	n    int64
 	next atomic.Int64
 	wg   sync.WaitGroup
+
+	// ctx, when non-nil, carries pprof labels (see runtime/pprof.Do) that
+	// each worker goroutine wears while running this job's items, so CPU
+	// profiles attribute samples to {executor, phase}. Jobs submitted
+	// through the unlabeled API leave it nil and pay nothing.
+	ctx context.Context
 }
 
 // Handle is a waitable ticket for a job submitted asynchronously. The zero
@@ -65,14 +73,23 @@ func New(workers int) *Pool {
 
 func (p *Pool) worker(id int) {
 	for j := range p.jobs {
-		for {
-			i := j.next.Add(1) - 1
-			if i >= j.n {
-				break
-			}
-			j.f(id, int(i))
+		if j.ctx != nil {
+			pprof.Do(j.ctx, pprof.Labels(), func(context.Context) { p.runItems(j, id) })
+		} else {
+			p.runItems(j, id)
 		}
 		j.wg.Done()
+	}
+}
+
+// runItems drains the job's remaining items on worker id.
+func (p *Pool) runItems(j *job, id int) {
+	for {
+		i := j.next.Add(1) - 1
+		if i >= j.n {
+			break
+		}
+		j.f(id, int(i))
 	}
 }
 
@@ -103,6 +120,13 @@ func (p *Pool) enqueue(j *job, fan int, async bool) {
 // worker may execute zero or many items. f must not call For on the same
 // pool (no nested parallelism).
 func (p *Pool) For(n int, f func(worker, item int)) {
+	p.ForLabeled(nil, n, f)
+}
+
+// ForLabeled is For with pprof labels: while running this job's items each
+// worker goroutine wears ctx's label set (see obs.LabelCtx), so profiles
+// split by executor phase. A nil ctx is exactly For.
+func (p *Pool) ForLabeled(ctx context.Context, n int, f func(worker, item int)) {
 	if n <= 0 {
 		return
 	}
@@ -111,14 +135,27 @@ func (p *Pool) For(n int, f func(worker, item int)) {
 	}
 	if p.workers == 1 || n == 1 {
 		// Fast path: run inline; worker id 0 keeps per-worker scratch valid.
+		p.runInline(ctx, n, f)
+		return
+	}
+	j := &job{f: f, n: int64(n), ctx: ctx}
+	p.enqueue(j, min(n, p.workers), false)
+	j.wg.Wait()
+}
+
+// runInline executes small jobs on the caller goroutine, still honouring
+// the job's label set so single-worker profiles stay attributed.
+func (p *Pool) runInline(ctx context.Context, n int, f func(worker, item int)) {
+	body := func() {
 		for i := 0; i < n; i++ {
 			f(0, i)
 		}
+	}
+	if ctx != nil {
+		pprof.Do(ctx, pprof.Labels(), func(context.Context) { body() })
 		return
 	}
-	j := &job{f: f, n: int64(n)}
-	p.enqueue(j, min(n, p.workers), false)
-	j.wg.Wait()
+	body()
 }
 
 // Submit enqueues a For-style dynamic job without waiting for it: f(worker,
@@ -126,13 +163,19 @@ func (p *Pool) For(n int, f func(worker, item int)) {
 // with anything the caller does next. The returned Handle's Wait blocks until
 // all items finish. Every Handle must be waited before the pool is Closed.
 func (p *Pool) Submit(n int, f func(worker, item int)) *Handle {
+	return p.SubmitLabeled(nil, n, f)
+}
+
+// SubmitLabeled is Submit with pprof labels applied to the worker
+// goroutines for the duration of the job (nil ctx is exactly Submit).
+func (p *Pool) SubmitLabeled(ctx context.Context, n int, f func(worker, item int)) *Handle {
 	if n <= 0 {
 		return &Handle{}
 	}
 	if p.closed.Load() {
 		panic("pool: Submit on closed pool")
 	}
-	j := &job{f: f, n: int64(n)}
+	j := &job{f: f, n: int64(n), ctx: ctx}
 	p.enqueue(j, min(n, p.workers), true)
 	return &Handle{j: j}
 }
@@ -157,6 +200,12 @@ func (p *Pool) staticJob(n int, f func(core, item int)) (*job, int) {
 // strip i of every CB block), so per-core scratch indexed by the core
 // argument is never shared.
 func (p *Pool) ForStatic(n int, f func(core, item int)) {
+	p.ForStaticLabeled(nil, n, f)
+}
+
+// ForStaticLabeled is ForStatic with pprof labels applied to the worker
+// goroutines for the duration of the job (nil ctx is exactly ForStatic).
+func (p *Pool) ForStaticLabeled(ctx context.Context, n int, f func(core, item int)) {
 	if n <= 0 {
 		return
 	}
@@ -166,12 +215,11 @@ func (p *Pool) ForStatic(n int, f func(core, item int)) {
 	if p.workers == 1 || n == 1 {
 		// Fast path: run inline; item i of a single-item job maps to virtual
 		// core 0 either way, so the static contract is preserved.
-		for i := 0; i < n; i++ {
-			f(0, i)
-		}
+		p.runInline(ctx, n, f)
 		return
 	}
 	j, fan := p.staticJob(n, f)
+	j.ctx = ctx
 	p.enqueue(j, fan, false)
 	j.wg.Wait()
 }

@@ -13,7 +13,7 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/pool ./internal/core"
-go test -race ./internal/pool ./internal/core
+echo "== go test -race ./internal/pool ./internal/core ./internal/obs"
+go test -race ./internal/pool ./internal/core ./internal/obs
 
 echo "verify: OK"

@@ -1,0 +1,65 @@
+package cake
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestTracePublicAPI drives the whole observability surface through the
+// public package: record a CAKE and a GOTO run, export Chrome trace JSON,
+// reduce to a bandwidth timeline.
+func TestTracePublicAPI(t *testing.T) {
+	const m, k, n = 60, 50, 60
+	rng := rand.New(rand.NewSource(44))
+	a := NewMatrix[float32](m, k)
+	b := NewMatrix[float32](k, n)
+	a.Randomize(rng)
+	b.Randomize(rng)
+
+	cfg := Config{Cores: 2, MC: 16, KC: 16, Alpha: 1, MR: 8, NR: 8}
+	rec := NewTraceRecorder(cfg.Cores, 0)
+	e, err := NewExecutor[float32](cfg, WithTrace(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	c := NewMatrix[float32](m, n)
+	if _, err := e.Gemm(c, a, b); err != nil {
+		t.Fatal(err)
+	}
+
+	gotoRec := NewTraceRecorder(2, 0)
+	gcfg := GotoConfig{Cores: 2, MC: 16, KC: 16, NC: 32, MR: 8, NR: 8}
+	cg := NewMatrix[float32](m, n)
+	if _, err := GotoGemm(cg, a, b, gcfg, WithGotoTrace(gotoRec)); err != nil {
+		t.Fatal(err)
+	}
+	if !c.AlmostEqual(cg, k, 1e-4) {
+		t.Fatal("traced CAKE and GOTO disagree")
+	}
+
+	var buf bytes.Buffer
+	err = WriteChromeTrace(&buf,
+		TraceProcess{Name: "cake", Rec: rec},
+		TraceProcess{Name: "goto", Rec: gotoRec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("exported trace is not valid JSON")
+	}
+	for _, want := range []string{`"cake"`, `"goto"`, `"pack"`, `"compute"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("trace missing %s", want)
+		}
+	}
+
+	tl := NewBandwidthTimeline(rec, 8)
+	if st := tl.Stats(); st.TotalB <= 0 || st.MeanBps <= 0 {
+		t.Fatalf("timeline stats empty: %+v", st)
+	}
+	EnableMetrics() // must not panic when called twice across tests
+}
