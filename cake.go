@@ -121,9 +121,25 @@ func NewBandwidthTimeline(rec *TraceRecorder, buckets int) BandwidthTimeline {
 }
 
 // EnableMetrics switches on the expvar-backed metrics registry: cumulative
-// per-executor GEMM/block/bytes/time counters published under the
-// "cake_metrics" expvar map for long-running hosts (see internal/obs).
+// per-executor GEMM/block/bytes/time counters and pack/compute latency
+// histograms published under the "cake_metrics" expvar map for long-running
+// hosts (see internal/obs).
 func EnableMetrics() { obs.EnableMetrics() }
+
+// DebugServer is a running debug/observability HTTP server (see ServeDebug).
+type DebugServer = obs.DebugServer
+
+// ServeDebug starts the stdlib-only debug HTTP server on addr: /metrics
+// (Prometheus text), /debug/vars (expvar), /debug/pprof/, /debug/trace.json
+// (Chrome trace of registered recorders), /debug/timeline.json (bucketed
+// bandwidth timelines) and /debug/conformance.json (latest model-conformance
+// report). Alternatively set CAKE_DEBUG_ADDR to start it at init.
+func ServeDebug(addr string) (*DebugServer, error) { return obs.Serve(addr) }
+
+// RegisterTraceProcess makes a recorder's spans available to the debug
+// server's trace and timeline endpoints under the given process name;
+// re-registering a name replaces its recorder in place.
+func RegisterTraceProcess(name string, rec *TraceRecorder) { obs.RegisterProcess(name, rec) }
 
 // Compute dimensions (Section 3): N is the paper's primary formulation.
 const (

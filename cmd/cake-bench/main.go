@@ -18,6 +18,10 @@
 // https://ui.perfetto.dev) plus BENCH_bwtimeline.json (the bucketed
 // bandwidth timelines whose coefficients of variation test the paper's
 // constant-bandwidth claim).
+//
+// The check subcommand is a noise-aware regression gate: it diffs fresh
+// (or -candidate directory) benchmark artifacts against the committed
+// baseline in results/baseline and exits non-zero on regression.
 package main
 
 import (
@@ -31,6 +35,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/benchgate"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/platform"
@@ -38,6 +43,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "check" {
+		if err := runCheck(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "cake-bench check:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	quick := flag.Bool("quick", false, "scale problem sizes down for fast runs")
 	csvDir := flag.String("csv", "", "directory to write CSV files into")
 	flag.Usage = usage
@@ -54,6 +66,108 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: cake-bench [-quick] [-csv DIR] table2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|packshare|gemm|trace|tenant|all")
+	fmt.Fprintln(os.Stderr, "       cake-bench check [-baseline DIR] [-candidate DIR] [-runs N] [-threshold F] [-quick]")
+}
+
+// runCheck is the benchmark regression gate. With -candidate it compares
+// committed artifact directories deterministically (the CI self-check);
+// without it, it measures this host fresh — best of -runs runs — and
+// judges the result against the baseline with noise-aware thresholds. A
+// regression renders its findings and returns an error (exit 1). -update
+// instead writes the best-of-runs fresh measurement as the new
+// baseline, so baseline and candidate always get the same noise
+// treatment.
+func runCheck(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	opt := benchgate.DefaultOptions()
+	baseline := fs.String("baseline", filepath.Join("results", "baseline"), "baseline artifact directory")
+	candidate := fs.String("candidate", "", "candidate artifact directory (default: measure fresh)")
+	runs := fs.Int("runs", opt.MinRuns, "fresh benchmark runs to take the best of")
+	threshold := fs.Float64("threshold", opt.Threshold, "allowed relative GFLOPS drop")
+	quick := fs.Bool("quick", true, "scale fresh problem sizes down")
+	update := fs.Bool("update", false, "measure fresh and overwrite the baseline instead of judging")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opt.Threshold = *threshold
+	opt.MinRuns = *runs
+
+	if *update {
+		return updateBaseline(*baseline, *quick, opt.MinRuns, w)
+	}
+	var res benchgate.Result
+	if *candidate != "" {
+		r, err := benchgate.CompareDirs(*baseline, *candidate, opt)
+		if err != nil {
+			return err
+		}
+		res = r
+	} else {
+		baseGemm, err := benchgate.LoadGemm(filepath.Join(*baseline, "BENCH_gemm.json"))
+		if err != nil {
+			return err
+		}
+		baseTL, err := benchgate.LoadTimeline(filepath.Join(*baseline, "BENCH_bwtimeline.json"))
+		if err != nil {
+			return err
+		}
+		cores := runtime.GOMAXPROCS(0)
+		fmt.Fprintf(w, "measuring candidate: %d runs on %d cores (quick=%v)\n", opt.MinRuns, cores, *quick)
+		candGemm, err := benchgate.FreshGemm(cores, *quick, opt.MinRuns)
+		if err != nil {
+			return err
+		}
+		candTL, err := benchgate.FreshTimeline(cores, *quick, opt.MinRuns)
+		if err != nil {
+			return err
+		}
+		res = benchgate.Result{Findings: benchgate.CompareGemm(baseGemm, candGemm, opt)}
+		res.Findings = append(res.Findings, benchgate.CompareTimeline(baseTL, candTL, opt)...)
+	}
+	res.Render(w)
+	if !res.OK() {
+		return fmt.Errorf("%d regression(s) against %s", len(res.Regressions()), *baseline)
+	}
+	fmt.Fprintln(w, "benchmark gate: OK")
+	return nil
+}
+
+// updateBaseline measures this host and writes the conservative bounds —
+// worst GFLOPS and highest CoV across runs — into dir: the committed
+// reference is a floor every healthy future run can beat, so the gate
+// fires only when a candidate's best run falls below even that.
+func updateBaseline(dir string, quick bool, runs int, w io.Writer) error {
+	cores := runtime.GOMAXPROCS(0)
+	fmt.Fprintf(w, "measuring baseline: %d runs on %d cores (quick=%v)\n", runs, cores, quick)
+	gemm, err := benchgate.BaselineGemm(cores, quick, runs)
+	if err != nil {
+		return err
+	}
+	tl, err := benchgate.BaselineTimeline(cores, quick, runs)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, art := range []struct {
+		name string
+		v    any
+	}{
+		{"BENCH_gemm.json", gemm},
+		{"BENCH_bwtimeline.json", tl},
+	} {
+		data, err := json.MarshalIndent(art.v, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, art.name)
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "wrote", path)
+	}
+	return nil
 }
 
 func run(target string, quick bool, csvDir string, w io.Writer) error {

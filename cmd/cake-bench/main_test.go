@@ -93,3 +93,62 @@ func TestShortName(t *testing.T) {
 		t.Fatal("fig9 output missing")
 	}
 }
+
+func writeGateArtifacts(t *testing.T, dir, gemm, timeline string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_gemm.json"), []byte(gemm), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_bwtimeline.json"), []byte(timeline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const gateGemmJSON = `{"cores":2,"rows":[
+  {"shape":"square-480","mode":"sync","gflops":10},
+  {"shape":"square-480","mode":"pipelined","gflops":12}
+]}`
+
+const gateTimelineJSON = `{"m":32,"k":512,"n":256,"cores":2,
+  "cake":{"executor":"cake","gflops":6,"cov":0.4},
+  "goto":{"executor":"goto","gflops":5,"cov":1.5}}`
+
+func TestRunCheckCandidateSelfComparePasses(t *testing.T) {
+	dir := t.TempDir()
+	writeGateArtifacts(t, dir, gateGemmJSON, gateTimelineJSON)
+	var buf bytes.Buffer
+	if err := runCheck([]string{"-baseline", dir, "-candidate", dir}, &buf); err != nil {
+		t.Fatalf("self-compare failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "benchmark gate: OK") {
+		t.Fatalf("missing OK verdict:\n%s", buf.String())
+	}
+}
+
+func TestRunCheckCandidateRegressionFails(t *testing.T) {
+	baseDir, candDir := t.TempDir(), t.TempDir()
+	writeGateArtifacts(t, baseDir, gateGemmJSON, gateTimelineJSON)
+	regressed := strings.Replace(gateGemmJSON, `"mode":"pipelined","gflops":12`, `"mode":"pipelined","gflops":6`, 1)
+	writeGateArtifacts(t, candDir, regressed, gateTimelineJSON)
+	var buf bytes.Buffer
+	err := runCheck([]string{"-baseline", baseDir, "-candidate", candDir}, &buf)
+	if err == nil {
+		t.Fatalf("halved throughput passed:\n%s", buf.String())
+	}
+	if !strings.Contains(err.Error(), "regression") || !strings.Contains(buf.String(), "REGRESSION") {
+		t.Fatalf("err = %v, output:\n%s", err, buf.String())
+	}
+}
+
+func TestRunCheckMissingBaselineErrors(t *testing.T) {
+	if err := runCheck([]string{"-baseline", t.TempDir(), "-candidate", t.TempDir()}, &bytes.Buffer{}); err == nil {
+		t.Fatal("empty baseline dir accepted")
+	}
+}
+
+func TestRunCheckBadFlagErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runCheck([]string{"-no-such-flag"}, &buf); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -7,18 +7,36 @@
 // demands grow with core count and overrun their reservations.
 //
 //	go run ./examples/multitenant
+//
+// With -serve ADDR the example additionally publishes the partition and
+// keeps running scaled real tenant GEMMs with tracing on, exposing the
+// live observability surface (expvar, Prometheus metrics, pprof, Chrome
+// traces, bandwidth timelines, conformance reports):
+//
+//	go run ./examples/multitenant -serve :8080
+//	curl localhost:8080/debug/vars | jq .cake_tenants
+//	curl localhost:8080/debug/conformance.json
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 
+	"repro/internal/cbtheory"
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/obs"
+	"repro/internal/obs/conformance"
 	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/tenant"
 )
 
 func main() {
+	serve := flag.String("serve", "", "address for the live debug server (e.g. :8080); keeps running scaled tenant GEMMs")
+	flag.Parse()
 	pl := platform.IntelI9()
 	jobs := []tenant.Job{
 		{Name: "training", M: 4096, K: 4096, N: 4096},
@@ -66,4 +84,63 @@ func main() {
 	fmt.Println("\nCAKE tenants fit their reservations because CB blocks pin their")
 	fmt.Println("bandwidth demand; GOTO tenants' demand scales with cores and blows")
 	fmt.Println("through any static share — the search-free multi-tenancy of §6.1.")
+
+	if *serve != "" {
+		if err := serveLive(pl, plan, *serve); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// serveLive publishes the partition and the executor metrics, then loops
+// scaled real GEMMs for each tenant — traced, conformance-checked against
+// the CB model, and inspectable over HTTP — until interrupted.
+func serveLive(pl *platform.Platform, plan tenant.Plan, addr string) error {
+	obs.EnableMetrics()
+	plan.Publish()
+
+	srv, err := obs.Serve(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ndebug server on http://%s — /metrics, /debug/vars, /debug/pprof/,\n", srv.Addr())
+	fmt.Println("/debug/trace.json, /debug/timeline.json, /debug/conformance.json")
+
+	rates := cbtheory.Rates{ClockHz: pl.ClockHz, FlopsPerCycle: pl.FlopsPerCycle, ElemBytes: 4}
+	rng := rand.New(rand.NewSource(1))
+	for {
+		for _, as := range plan.Assignments {
+			// Scale the tenant's job to example size; the planned blocking
+			// still applies (executors clip ragged edges).
+			m, k, n := min(as.Job.M, 128), min(as.Job.K, 512), min(as.Job.N, 256)
+			rec := obs.NewRecorder(as.Cores, 1<<14)
+			e, err := core.NewExecutor[float32](as.Config, nil, core.WithTrace(rec))
+			if err != nil {
+				return err
+			}
+			a := matrix.New[float32](m, k)
+			b := matrix.New[float32](k, n)
+			c := matrix.New[float32](m, n)
+			a.Randomize(rng)
+			b.Randomize(rng)
+			if _, err := e.Gemm(c, a, b); err != nil {
+				e.Close()
+				return err
+			}
+			e.Close()
+			obs.RegisterProcess(as.Job.Name, rec)
+
+			cfg := as.Config
+			rep, err := conformance.Evaluate(conformance.Input{
+				Executor: "cake/" + as.Job.Name, M: m, K: k, N: n, ElemBytes: 4,
+				Cake:  &cfg,
+				Rates: rates, AvailBWBps: as.DRAMBW, PrivateCacheBytes: pl.L2Bytes,
+				Spans: rec.Spans(), Dropped: rec.Dropped(),
+			})
+			if err != nil {
+				return err
+			}
+			rep.Publish()
+		}
+	}
 }

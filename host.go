@@ -1,12 +1,30 @@
 package cake
 
 import (
+	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/platform"
 )
+
+// init starts the debug/observability server when CAKE_DEBUG_ADDR is set
+// (e.g. "localhost:6060"), so any binary importing this package gets the
+// live surface — metrics, pprof, traces, conformance — with zero code. A
+// bind failure is reported on stderr, never fatal: observability must not
+// take the host down.
+func init() {
+	addr, ok := os.LookupEnv("CAKE_DEBUG_ADDR")
+	if !ok || strings.TrimSpace(addr) == "" {
+		return
+	}
+	obs.EnableMetrics()
+	if _, err := obs.Serve(strings.TrimSpace(addr)); err != nil {
+		fmt.Fprintf(os.Stderr, "cake: CAKE_DEBUG_ADDR=%s: %v\n", addr, err)
+	}
+}
 
 // hostPlatform builds a Platform for the machine the process runs on. Cache
 // sizes come from Linux sysfs when readable; anything missing falls back to

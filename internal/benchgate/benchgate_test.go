@@ -1,0 +1,176 @@
+package benchgate
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func baselineGemm() GemmFile {
+	return GemmFile{Cores: 4, Rows: []experiments.GemmBenchRow{
+		{Shape: "square-480", Mode: "sync", GFLOPS: 10},
+		{Shape: "square-480", Mode: "pipelined", GFLOPS: 12},
+		{Shape: "skew-small-m", Mode: "pipelined", GFLOPS: 8},
+	}}
+}
+
+func baselineTimeline() experiments.TraceBenchResult {
+	return experiments.TraceBenchResult{
+		M: 32, K: 512, N: 256, Cores: 4,
+		Cake: experiments.ExecTimeline{Executor: "cake", GFLOPS: 6, CoV: 0.4},
+		Goto: experiments.ExecTimeline{Executor: "goto", GFLOPS: 5, CoV: 1.5},
+	}
+}
+
+func TestCompareGemmIdenticalPasses(t *testing.T) {
+	res := Result{Findings: CompareGemm(baselineGemm(), baselineGemm(), DefaultOptions())}
+	if !res.OK() {
+		t.Fatalf("self-compare regressed: %+v", res.Regressions())
+	}
+	if len(res.Findings) != 3 {
+		t.Fatalf("findings = %d, want one per baseline row", len(res.Findings))
+	}
+}
+
+func TestCompareGemmFlagsLargeDropOnly(t *testing.T) {
+	opt := DefaultOptions()
+	cand := baselineGemm()
+	cand.Rows[1].GFLOPS = 12 * 0.85 // 15% drop: inside the 20% allowance
+	res := Result{Findings: CompareGemm(baselineGemm(), cand, opt)}
+	if !res.OK() {
+		t.Fatalf("15%% drop flagged: %+v", res.Regressions())
+	}
+
+	cand.Rows[1].GFLOPS = 12 * 0.70 // 30% drop: regression
+	res = Result{Findings: CompareGemm(baselineGemm(), cand, opt)}
+	regs := res.Regressions()
+	if len(regs) != 1 || regs[0].Key != "square-480/pipelined" {
+		t.Fatalf("regressions = %+v, want the pipelined square row", regs)
+	}
+}
+
+func TestCompareGemmMissingRowIsRegression(t *testing.T) {
+	cand := baselineGemm()
+	cand.Rows = cand.Rows[:2] // skew row vanished
+	res := Result{Findings: CompareGemm(baselineGemm(), cand, DefaultOptions())}
+	regs := res.Regressions()
+	if len(regs) != 1 || !strings.Contains(regs[0].Detail, "missing") {
+		t.Fatalf("regressions = %+v, want a missing-row finding", regs)
+	}
+}
+
+func TestCompareTimelineCoVGatesCakeOnly(t *testing.T) {
+	opt := DefaultOptions()
+	cand := baselineTimeline()
+	// CAKE CoV beyond base·1.5 + 0.1 = 0.7 regresses the CB property.
+	cand.Cake.CoV = 0.9
+	res := Result{Findings: CompareTimeline(baselineTimeline(), cand, opt)}
+	regs := res.Regressions()
+	if len(regs) != 1 || regs[0].Key != "cake" || regs[0].Metric != "cov" {
+		t.Fatalf("regressions = %+v, want cake cov only", regs)
+	}
+
+	// GOTO's CoV exploding is informational, not a failure.
+	cand = baselineTimeline()
+	cand.Goto.CoV = 50
+	res = Result{Findings: CompareTimeline(baselineTimeline(), cand, opt)}
+	if !res.OK() {
+		t.Fatalf("goto CoV growth failed the gate: %+v", res.Regressions())
+	}
+}
+
+func TestCompareDirsSelfCheckAndSyntheticRegression(t *testing.T) {
+	writeArtifacts := func(t *testing.T, dir string, gemm GemmFile, tl experiments.TraceBenchResult) {
+		t.Helper()
+		gd, _ := json.Marshal(gemm)
+		td, _ := json.Marshal(tl)
+		if err := os.WriteFile(filepath.Join(dir, "BENCH_gemm.json"), gd, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "BENCH_bwtimeline.json"), td, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	baseDir, candDir := t.TempDir(), t.TempDir()
+	writeArtifacts(t, baseDir, baselineGemm(), baselineTimeline())
+	writeArtifacts(t, candDir, baselineGemm(), baselineTimeline())
+
+	// A directory against itself (and an identical copy) always passes.
+	res, err := CompareDirs(baseDir, baseDir, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("self-compare regressed: %+v", res.Regressions())
+	}
+
+	// Synthetically regress the candidate: throughput halved.
+	bad := baselineGemm()
+	for i := range bad.Rows {
+		bad.Rows[i].GFLOPS /= 2
+	}
+	writeArtifacts(t, candDir, bad, baselineTimeline())
+	res, err = CompareDirs(baseDir, candDir, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("halved throughput passed the gate")
+	}
+	if len(res.Regressions()) != 3 {
+		t.Fatalf("regressions = %+v, want all three gemm rows", res.Regressions())
+	}
+
+	// Missing artifacts are an error, not a silent pass.
+	if _, err := CompareDirs(baseDir, t.TempDir(), DefaultOptions()); err == nil {
+		t.Fatal("empty candidate dir did not error")
+	}
+}
+
+func TestBest(t *testing.T) {
+	for _, tc := range []struct {
+		vals []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{3, 1, 2}, 3},
+		{[]float64{4, 1, 3, 2}, 4},
+	} {
+		if got := best(append([]float64{}, tc.vals...)); got != tc.want {
+			t.Errorf("best(%v) = %g, want %g", tc.vals, got, tc.want)
+		}
+	}
+}
+
+func TestFloor(t *testing.T) {
+	for _, tc := range []struct {
+		vals []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{3, 1, 2}, 1},
+	} {
+		if got := floor(append([]float64{}, tc.vals...)); got != tc.want {
+			t.Errorf("floor(%v) = %g, want %g", tc.vals, got, tc.want)
+		}
+	}
+}
+
+func TestRenderListsVerdicts(t *testing.T) {
+	cand := baselineGemm()
+	cand.Rows[0].GFLOPS = 1
+	res := Result{Findings: CompareGemm(baselineGemm(), cand, DefaultOptions())}
+	var sb strings.Builder
+	res.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "square-480/sync") {
+		t.Fatalf("render output missing verdicts:\n%s", out)
+	}
+}

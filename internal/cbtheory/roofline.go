@@ -1,0 +1,39 @@
+// Roofline and optimal-blocking helpers for the conformance layer: where a
+// measured execution should land given the platform's compute peak and DRAM
+// bandwidth, and the reduction depth the Section 4.4 sizing rule would pick
+// — the reference point mis-tuned configurations are judged against.
+package cbtheory
+
+import "math"
+
+// PeakFlops returns the platform compute roof for p cores in FLOPs/s.
+func PeakFlops(r Rates, p int) float64 {
+	return float64(p) * r.ClockHz * r.FlopsPerCycle
+}
+
+// RooflineFlops returns the classic roofline bound min(peak, AI·BW) in
+// FLOPs/s for an arithmetic intensity in MACs per element (the unit BlockAI
+// and Shape.AI produce): each element moved at availBytesPerSec sustains
+// ai MACs = 2·ai FLOPs.
+func RooflineFlops(r Rates, p int, availBytesPerSec, aiMacsPerElem float64) float64 {
+	memRoof := 2 * aiMacsPerElem * availBytesPerSec / float64(r.ElemBytes)
+	return math.Min(PeakFlops(r, p), memRoof)
+}
+
+// OptimalKC returns the reduction depth the Section 4.4 sizing rule picks
+// for a private cache of the given size: the square mc×kc A sub-block plus
+// streaming headroom fills half the cache (2·kc² elements ≤ cache), rounded
+// down to a multiple of mr and clamped below at mr. This is the kc both
+// planners (core.Plan and gotoalg.Plan) derive, exposed so the conformance
+// layer can score a config's kc without running a planner.
+func OptimalKC(privateCacheBytes int64, elemBytes, mr int) int {
+	if privateCacheBytes <= 0 || elemBytes < 1 || mr < 1 {
+		return mr
+	}
+	kc := int(math.Sqrt(float64(privateCacheBytes) / float64(elemBytes) / 2))
+	kc -= kc % mr
+	if kc < mr {
+		kc = mr
+	}
+	return kc
+}

@@ -1,0 +1,57 @@
+package cbtheory
+
+import (
+	"math"
+	"testing"
+)
+
+var confRates = Rates{ClockHz: 3e9, FlopsPerCycle: 4, ElemBytes: 4}
+
+func TestPeakFlops(t *testing.T) {
+	if got := PeakFlops(confRates, 1); got != 12e9 {
+		t.Fatalf("1-core peak = %g, want 12e9", got)
+	}
+	if got := PeakFlops(confRates, 10); got != 120e9 {
+		t.Fatalf("10-core peak = %g, want 120e9", got)
+	}
+}
+
+func TestRooflineFlops(t *testing.T) {
+	// High AI: compute-bound, roof = peak.
+	if got := PeakFlops(confRates, 4); RooflineFlops(confRates, 4, 25e9, 1e6) != got {
+		t.Fatalf("compute-bound roofline != peak")
+	}
+	// AI = 1 MAC/elem at 25 GB/s, 4B elements: 2·1·25e9/4 = 12.5 GFLOPs —
+	// below even the single-core peak, so memory-bound.
+	got := RooflineFlops(confRates, 4, 25e9, 1)
+	want := 2 * 25e9 / 4.0
+	if math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("memory-bound roofline = %g, want %g", got, want)
+	}
+	// The memory roof scales linearly with AI while it stays below peak.
+	if r2 := RooflineFlops(confRates, 4, 25e9, 2); math.Abs(r2-2*got) > 1e-6*r2 {
+		t.Fatalf("roofline not linear in AI: %g vs 2×%g", r2, got)
+	}
+}
+
+func TestOptimalKC(t *testing.T) {
+	// 512 KiB private cache, float32, mr=8: sqrt(512Ki/4/2) = sqrt(65536)
+	// = 256, already a multiple of 8 — the planners' kc on the default host.
+	if got := OptimalKC(512<<10, 4, 8); got != 256 {
+		t.Fatalf("OptimalKC(512KiB) = %d, want 256", got)
+	}
+	// 32 KiB L1, float32: sqrt(32Ki/4/2) = sqrt(4096) = 64.
+	if got := OptimalKC(32<<10, 4, 8); got != 64 {
+		t.Fatalf("OptimalKC(32KiB) = %d, want 64", got)
+	}
+	// Rounds down to an mr multiple.
+	if got := OptimalKC(500<<10, 4, 8); got%8 != 0 {
+		t.Fatalf("OptimalKC(500KiB) = %d, not a multiple of 8", got)
+	}
+	// Degenerate inputs clamp to mr instead of panicking or returning 0.
+	for _, tc := range []struct{ cache int64 }{{0}, {-1}, {7}} {
+		if got := OptimalKC(tc.cache, 4, 8); got != 8 {
+			t.Fatalf("OptimalKC(%d) = %d, want mr=8", tc.cache, got)
+		}
+	}
+}

@@ -122,6 +122,7 @@ type Executor[T matrix.Scalar] struct {
 	// the pipeline's orchestrator-side C management) is currently running —
 	// async pack spans carry their stage's own coordinates instead.
 	rec                          *obs.Recorder
+	met                          *obs.ExecMetrics // phase-latency histograms; refreshed per Gemm, nil when metrics are off
 	elemBytes                    int64
 	packCtx, computeCtx, moveCtx context.Context
 	curBlk                       obs.Block
@@ -200,10 +201,14 @@ func (e *Executor[T]) span(worker int, ph obs.Phase, blk obs.Block, t0, bytes in
 	if e.rec == nil {
 		return
 	}
+	dur := time.Now().UnixNano() - t0
 	e.rec.Record(worker, obs.Span{
-		StartNs: t0, DurNs: time.Now().UnixNano() - t0,
+		StartNs: t0, DurNs: dur,
 		Bytes: bytes, Block: blk, Phase: ph,
 	})
+	if e.met != nil {
+		e.met.ObservePhase(ph, dur)
+	}
 }
 
 // Gemm computes C += A×B using CB blocks and the K-first schedule.
@@ -236,6 +241,11 @@ func (e *Executor[T]) GemmScaled(c, a, b *matrix.Matrix[T], transA, transB bool,
 			c.Rows, c.Cols, m, k, kb, n)
 	}
 	e.transA, e.transB, e.alpha = transA, transB, alpha
+	if e.rec != nil {
+		// Traced spans double as phase-latency histogram samples when the
+		// metrics registry is live; cache the lookup for the whole call.
+		e.met = obs.MetricsFor("cake")
+	}
 
 	if beta != 1 {
 		chunks := min(e.cfg.Cores, max(1, m))

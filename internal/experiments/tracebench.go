@@ -38,12 +38,12 @@ type ExecTimeline struct {
 // same skewed shape through the CAKE pipelined executor and the GOTO
 // baseline, each with a full span recorder attached.
 type TraceBenchResult struct {
-	M     int `json:"m"`
-	K     int `json:"k"`
-	N     int `json:"n"`
-	Cores int `json:"cores"`
-	Cake    ExecTimeline `json:"cake"`
-	Goto    ExecTimeline `json:"goto"`
+	M     int          `json:"m"`
+	K     int          `json:"k"`
+	N     int          `json:"n"`
+	Cores int          `json:"cores"`
+	Cake  ExecTimeline `json:"cake"`
+	Goto  ExecTimeline `json:"goto"`
 
 	// Recorders for trace export; not serialised.
 	CakeRec *obs.Recorder `json:"-"`

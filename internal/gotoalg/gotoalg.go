@@ -137,6 +137,7 @@ type Executor[T matrix.Scalar] struct {
 
 	// Observability (nil/zero unless WithTrace attached a recorder).
 	rec                 *obs.Recorder
+	met                 *obs.ExecMetrics // phase-latency histograms; refreshed per Gemm, nil when metrics are off
 	elemBytes           int64
 	packCtx, computeCtx context.Context
 	curBlk              obs.Block // (ic, pc, jc) grid coordinates being packed
@@ -202,10 +203,14 @@ func (e *Executor[T]) span(worker int, ph obs.Phase, blk obs.Block, t0, bytes in
 	if e.rec == nil {
 		return
 	}
+	dur := time.Now().UnixNano() - t0
 	e.rec.Record(worker, obs.Span{
-		StartNs: t0, DurNs: time.Now().UnixNano() - t0,
+		StartNs: t0, DurNs: dur,
 		Bytes: bytes, Block: blk, Phase: ph,
 	})
+	if e.met != nil {
+		e.met.ObservePhase(ph, dur)
+	}
 }
 
 // Gemm computes C += A×B with the five-loop GOTO schedule.
@@ -213,6 +218,11 @@ func (e *Executor[T]) Gemm(c, a, b *matrix.Matrix[T]) (Stats, error) {
 	matrix.CheckMul(c, a, b)
 	m, k, n := a.Rows, a.Cols, b.Cols
 	cfg := e.cfg
+	if e.rec != nil {
+		// Traced spans double as phase-latency histogram samples when the
+		// metrics registry is live; cache the lookup for the whole call.
+		e.met = obs.MetricsFor("goto")
+	}
 
 	needB := packing.PackedBSize(min(cfg.KC, k), min(cfg.NC, roundUp(n, cfg.NR)), cfg.NR)
 	if cap(e.bufB) < needB {

@@ -1,0 +1,25 @@
+package gotoalg
+
+import "repro/internal/obs"
+
+// PredictTraffic returns the DRAM traffic the five-loop GOTO schedule
+// implies for an M×K×N multiplication, using the same accounting the traced
+// executor records: each (jc, pc) panel packs the kcEff×ncEff B panel and
+// repacks all of A's rows at that depth (m·kcEff — A blocks are not reused
+// across jc), and every pc step streams the full m×ncEff C slab to and from
+// the output matrix (2·m·ncEff read-modify-write elements) — the partial-C
+// round-trips of §4.1 that grow GOTO's compute-phase traffic where CAKE's
+// stays at zero.
+func (c Config) PredictTraffic(m, k, n, elemBytes int) obs.Traffic {
+	eb := int64(elemBytes)
+	var t obs.Traffic
+	for jc := 0; jc < n; jc += c.NC {
+		ncEff := min(c.NC, n-jc)
+		for pc := 0; pc < k; pc += c.KC {
+			kcEff := min(c.KC, k-pc)
+			t.PackBytes += (int64(kcEff)*int64(ncEff) + int64(m)*int64(kcEff)) * eb
+			t.ComputeBytes += 2 * int64(m) * int64(ncEff) * eb
+		}
+	}
+	return t
+}

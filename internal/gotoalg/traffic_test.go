@@ -1,0 +1,69 @@
+package gotoalg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/obs"
+)
+
+// A traced GOTO run's measured traffic must meet PredictTraffic exactly —
+// the prediction iterates the same (jc, pc) panel loop the executor runs.
+func TestPredictTrafficMatchesTracedRun(t *testing.T) {
+	for _, tc := range []struct{ m, k, n int }{
+		{64, 128, 64},
+		{50, 100, 70}, // ragged panels
+	} {
+		cfg := Config{Cores: 2, MC: 16, KC: 32, NC: 32, MR: 8, NR: 8}
+		rec := obs.NewRecorder(cfg.Cores, 4096)
+		e, err := NewExecutor[float32](cfg, nil, WithTrace(rec))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		rng := rand.New(rand.NewSource(7))
+		a := matrix.New[float32](tc.m, tc.k)
+		b := matrix.New[float32](tc.k, tc.n)
+		c := matrix.New[float32](tc.m, tc.n)
+		a.Randomize(rng)
+		b.Randomize(rng)
+		if _, err := e.Gemm(c, a, b); err != nil {
+			t.Fatal(err)
+		}
+		e.Close()
+		if d := rec.Dropped(); d > 0 {
+			t.Fatalf("recorder dropped %d spans; grow the ring", d)
+		}
+
+		pred := cfg.PredictTraffic(tc.m, tc.k, tc.n, 4)
+		meas, avoided := obs.MeasuredTraffic(rec.Spans())
+		if avoided != 0 {
+			t.Errorf("%dx%dx%d: GOTO has no panel cache, avoided = %d", tc.m, tc.k, tc.n, avoided)
+		}
+		if meas != pred {
+			t.Errorf("%dx%dx%d: measured %+v, predicted %+v", tc.m, tc.k, tc.n, meas, pred)
+		}
+		if pred.ComputeBytes == 0 {
+			t.Errorf("%dx%dx%d: GOTO compute traffic predicted 0; partial-C streaming missing", tc.m, tc.k, tc.n)
+		}
+	}
+}
+
+func TestPredictTrafficGrowsWithPanelRevisits(t *testing.T) {
+	// Halving NC doubles the number of jc panels, and with it the A repack
+	// traffic and the partial-C streaming — the §4.1 cost CAKE avoids.
+	wide := Config{Cores: 1, MC: 16, KC: 32, NC: 64, MR: 8, NR: 8}
+	narrow := wide
+	narrow.NC = 32
+	tw := wide.PredictTraffic(64, 64, 64, 4)
+	tn := narrow.PredictTraffic(64, 64, 64, 4)
+	if tn.PackBytes <= tw.PackBytes {
+		t.Fatalf("narrow NC pack %d not above wide NC pack %d", tn.PackBytes, tw.PackBytes)
+	}
+	if tn.ComputeBytes != tw.ComputeBytes {
+		// Same k split: per-jc streaming halves in width but doubles in
+		// count, so total partial-C traffic is unchanged here.
+		t.Fatalf("compute traffic changed: %d vs %d", tn.ComputeBytes, tw.ComputeBytes)
+	}
+}

@@ -9,11 +9,17 @@ package obs
 
 import (
 	"expvar"
+	"fmt"
+	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
 
-// ExecMetrics is one executor family's cumulative counter set.
+// ExecMetrics is one executor family's cumulative counter set. The two
+// histograms accumulate per-span pack/compute durations from traced
+// executions (the span instrumentation points feed them when metrics are
+// enabled), giving p50/p95/p99 phase latencies on long-running hosts.
 type ExecMetrics struct {
 	Gemms        expvar.Int
 	Blocks       expvar.Int
@@ -22,6 +28,8 @@ type ExecMetrics struct {
 	PackNanos    expvar.Int
 	ComputeNanos expvar.Int
 	OverlapNanos expvar.Int
+	PackDur      Histogram
+	ComputeDur   Histogram
 }
 
 func (m *ExecMetrics) publishInto(dst *expvar.Map) {
@@ -32,6 +40,19 @@ func (m *ExecMetrics) publishInto(dst *expvar.Map) {
 	dst.Set("pack_nanos", &m.PackNanos)
 	dst.Set("compute_nanos", &m.ComputeNanos)
 	dst.Set("overlap_nanos", &m.OverlapNanos)
+	dst.Set("pack_duration_ns", &m.PackDur)
+	dst.Set("compute_duration_ns", &m.ComputeDur)
+}
+
+// ObservePhase folds one span's duration into the executor's phase latency
+// histograms. Phases without a histogram (unpack, reuse) are ignored.
+func (m *ExecMetrics) ObservePhase(ph Phase, durNs int64) {
+	switch ph {
+	case PhasePack:
+		m.PackDur.Observe(durNs)
+	case PhaseCompute:
+		m.ComputeDur.Observe(durNs)
+	}
 }
 
 var (
@@ -90,4 +111,66 @@ func AccountGemm(executor string, blocks int, packedBytes, reusedBytes, packNs, 
 	m.PackNanos.Add(packNs)
 	m.ComputeNanos.Add(computeNs)
 	m.OverlapNanos.Add(overlapNs)
+}
+
+// WritePrometheus renders the metrics registry in Prometheus text
+// exposition format (version 0.0.4): one counter family per ExecMetrics
+// field, labelled by executor, plus the phase-duration histograms in the
+// native histogram text shape ({le} buckets, _sum, _count). Deterministic
+// output order (sorted executors) so scrapes diff cleanly.
+func WritePrometheus(w io.Writer) {
+	metricsMu.Lock()
+	names := make([]string, 0, len(metricsByEx))
+	for name := range metricsByEx {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ms := make([]*ExecMetrics, len(names))
+	for i, name := range names {
+		ms[i] = metricsByEx[name]
+	}
+	metricsMu.Unlock()
+
+	counters := []struct {
+		family, help string
+		value        func(m *ExecMetrics) float64
+	}{
+		{"cake_gemms_total", "GEMM executions completed.", func(m *ExecMetrics) float64 { return float64(m.Gemms.Value()) }},
+		{"cake_blocks_total", "CB blocks (or GOTO panels) executed.", func(m *ExecMetrics) float64 { return float64(m.Blocks.Value()) }},
+		{"cake_packed_bytes_total", "Operand bytes packed from DRAM.", func(m *ExecMetrics) float64 { return float64(m.PackedBytes.Value()) }},
+		{"cake_reused_bytes_total", "DRAM bytes avoided by panel-cache hits.", func(m *ExecMetrics) float64 { return float64(m.ReusedBytes.Value()) }},
+		{"cake_pack_seconds_total", "Wall time spent packing and managing C blocks.", func(m *ExecMetrics) float64 { return float64(m.PackNanos.Value()) / 1e9 }},
+		{"cake_compute_seconds_total", "Wall time spent in macro-kernels.", func(m *ExecMetrics) float64 { return float64(m.ComputeNanos.Value()) / 1e9 }},
+		{"cake_overlap_seconds_total", "Pack time hidden under compute by the pipeline.", func(m *ExecMetrics) float64 { return float64(m.OverlapNanos.Value()) / 1e9 }},
+	}
+	for _, c := range counters {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", c.family, c.help, c.family)
+		for i, name := range names {
+			fmt.Fprintf(w, "%s{executor=%q} %g\n", c.family, name, c.value(ms[i]))
+		}
+	}
+
+	const histFamily = "cake_phase_duration_seconds"
+	fmt.Fprintf(w, "# HELP %s Traced span durations by executor and phase.\n# TYPE %s histogram\n",
+		histFamily, histFamily)
+	for i, name := range names {
+		for _, ph := range []struct {
+			phase string
+			h     *Histogram
+		}{{"pack", &ms[i].PackDur}, {"compute", &ms[i].ComputeDur}} {
+			counts, total, sum := ph.h.snapshot()
+			var cum int64
+			for b, c := range counts {
+				cum += c
+				if b == histBucketCount {
+					continue // the +Inf line below carries the overflow
+				}
+				fmt.Fprintf(w, "%s_bucket{executor=%q,phase=%q,le=%q} %d\n",
+					histFamily, name, ph.phase, fmt.Sprintf("%g", float64(HistBucketBound(b))/1e9), cum)
+			}
+			fmt.Fprintf(w, "%s_bucket{executor=%q,phase=%q,le=\"+Inf\"} %d\n", histFamily, name, ph.phase, total)
+			fmt.Fprintf(w, "%s_sum{executor=%q,phase=%q} %g\n", histFamily, name, ph.phase, float64(sum)/1e9)
+			fmt.Fprintf(w, "%s_count{executor=%q,phase=%q} %d\n", histFamily, name, ph.phase, total)
+		}
+	}
 }

@@ -50,12 +50,22 @@ func TestMetricsAccounting(t *testing.T) {
 	if root == nil {
 		t.Fatal("cake_metrics not published")
 	}
-	var decoded map[string]map[string]int64
+	var decoded map[string]map[string]any
 	if err := json.Unmarshal([]byte(root.String()), &decoded); err != nil {
 		t.Fatalf("cake_metrics expvar is not valid JSON: %v\n%s", err, root.String())
 	}
 	if _, ok := decoded["cake"]["gemms"]; !ok {
 		t.Fatalf("cake sub-map missing gemms: %v", decoded)
+	}
+	// The phase-duration histograms publish as nested JSON objects.
+	hist, ok := decoded["cake"]["pack_duration_ns"].(map[string]any)
+	if !ok {
+		t.Fatalf("pack_duration_ns is not a JSON object: %v", decoded["cake"]["pack_duration_ns"])
+	}
+	for _, key := range []string{"count", "sum_ns", "p50_ns", "p95_ns", "p99_ns", "buckets"} {
+		if _, ok := hist[key]; !ok {
+			t.Fatalf("pack_duration_ns missing %q: %v", key, hist)
+		}
 	}
 }
 

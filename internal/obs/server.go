@@ -1,0 +1,184 @@
+// Live debug server for long-running hosts: one stdlib-only HTTP endpoint
+// bundle exposing everything the observability layer knows — Prometheus
+// metrics, expvar, pprof, on-demand Chrome-trace download, bandwidth
+// timelines, and the latest model-conformance report. A host embeds the
+// executors, registers its trace recorders, and calls Serve; nothing here
+// touches the GEMM hot path.
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+)
+
+var (
+	debugMu    sync.Mutex
+	debugProcs []Process // registration order preserved for stable pids
+	latestConf any
+	hasConf    bool
+)
+
+// RegisterProcess makes a named recorder visible to the debug endpoints
+// (/debug/trace.json and /debug/timeline.json). Registering a name again
+// replaces its recorder in place, keeping the original position — so a
+// host that re-traces "cake" and "goto" per request keeps stable trace
+// pids. The recorder is read live on each request: whatever spans it holds
+// at download time are what the trace shows.
+func RegisterProcess(name string, rec *Recorder) {
+	debugMu.Lock()
+	defer debugMu.Unlock()
+	for i := range debugProcs {
+		if debugProcs[i].Name == name {
+			debugProcs[i].Rec = rec
+			return
+		}
+	}
+	debugProcs = append(debugProcs, Process{Name: name, Rec: rec})
+}
+
+// RegisteredProcesses returns a snapshot of the registered trace processes.
+func RegisteredProcesses() []Process {
+	debugMu.Lock()
+	defer debugMu.Unlock()
+	out := make([]Process, len(debugProcs))
+	copy(out, debugProcs)
+	return out
+}
+
+// SetConformance publishes a conformance report (any JSON-marshalable
+// value; in practice *conformance.Report) as the latest one served on
+// /debug/conformance.json. The obs package takes it as an opaque value so
+// the conformance layer can depend on obs without a cycle.
+func SetConformance(report any) {
+	debugMu.Lock()
+	defer debugMu.Unlock()
+	latestConf, hasConf = report, true
+}
+
+// LatestConformance returns the most recently published conformance report,
+// or ok=false when none has been published yet.
+func LatestConformance() (any, bool) {
+	debugMu.Lock()
+	defer debugMu.Unlock()
+	return latestConf, hasConf
+}
+
+// DebugHandler returns the debug server's routes on a fresh mux, so hosts
+// can mount them on their own server (or tests on httptest) without
+// binding a socket:
+//
+//	/                        index of everything below
+//	/metrics                 Prometheus text exposition of ExecMetrics
+//	/debug/vars              expvar JSON (includes cake_metrics)
+//	/debug/pprof/...         standard pprof handlers
+//	/debug/trace.json        Chrome trace of all registered processes
+//	/debug/timeline.json     per-process bandwidth timeline + stats (?buckets=N)
+//	/debug/conformance.json  latest conformance report (404 until published)
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/{$}", serveIndex)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/trace.json", serveTrace)
+	mux.HandleFunc("/debug/timeline.json", serveTimeline)
+	mux.HandleFunc("/debug/conformance.json", serveConformance)
+	return mux
+}
+
+func serveIndex(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, `<html><head><title>cake debug</title></head><body>
+<h1>cake debug server</h1><ul>
+<li><a href="/metrics">/metrics</a> — Prometheus text exposition</li>
+<li><a href="/debug/vars">/debug/vars</a> — expvar JSON</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a> — pprof profiles</li>
+<li><a href="/debug/trace.json">/debug/trace.json</a> — Chrome trace (load in Perfetto)</li>
+<li><a href="/debug/timeline.json">/debug/timeline.json</a> — bandwidth timelines (?buckets=N)</li>
+<li><a href="/debug/conformance.json">/debug/conformance.json</a> — latest conformance report</li>
+</ul></body></html>`)
+}
+
+func serveTrace(w http.ResponseWriter, r *http.Request) {
+	procs := RegisteredProcesses()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="cake-trace.json"`)
+	if err := WriteChromeTrace(w, procs...); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// timelineEntry is one registered process's bucketed bandwidth view.
+type timelineEntry struct {
+	Name     string   `json:"name"`
+	Stats    BWStats  `json:"stats"`
+	Timeline Timeline `json:"timeline"`
+}
+
+func serveTimeline(w http.ResponseWriter, r *http.Request) {
+	buckets := 12
+	if q := r.URL.Query().Get("buckets"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 || n > 1_000_000 {
+			http.Error(w, "buckets must be an integer in [1, 1000000]", http.StatusBadRequest)
+			return
+		}
+		buckets = n
+	}
+	entries := []timelineEntry{}
+	for _, p := range RegisteredProcesses() {
+		tl := NewTimelineN(p.Rec.Spans(), buckets)
+		entries = append(entries, timelineEntry{Name: p.Name, Stats: tl.Stats(), Timeline: tl})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"buckets": buckets, "processes": entries})
+}
+
+func serveConformance(w http.ResponseWriter, r *http.Request) {
+	report, ok := LatestConformance()
+	if !ok {
+		http.Error(w, "no conformance report published yet", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(report)
+}
+
+// DebugServer is a running debug HTTP server handle.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the server's bound address (useful with ":0").
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener down; in-flight requests are abandoned.
+func (s *DebugServer) Close() error { return s.srv.Close() }
+
+// Serve binds addr (e.g. "localhost:6060" or ":0" for an ephemeral port)
+// and serves DebugHandler on it in a background goroutine, returning once
+// the listener is bound. The caller owns the returned handle and should
+// Close it on shutdown.
+func Serve(addr string) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: DebugHandler()}
+	go srv.Serve(ln)
+	return &DebugServer{ln: ln, srv: srv}, nil
+}

@@ -24,9 +24,15 @@ type Timeline struct {
 // excluded — they represent traffic that never reached DRAM. Buckets the
 // execution passed through without traffic stay zero; they count toward
 // the variation statistics, exactly like an idle memory bus.
+//
+// Degenerate inputs degrade to an empty timeline rather than panicking or
+// allocating nonsense: a non-positive bucket size (which would otherwise
+// demand one bucket per nanosecond of the run) and span sets with no DRAM
+// traffic (empty, or reuse events only) both return a timeline with zero
+// buckets, which Stats reduces to all-zero statistics.
 func NewTimeline(spans []Span, bucketNs int64) Timeline {
 	if bucketNs <= 0 {
-		bucketNs = 1
+		return Timeline{}
 	}
 	minStart, maxEnd := int64(math.MaxInt64), int64(math.MinInt64)
 	any := false
@@ -72,10 +78,11 @@ func NewTimeline(spans []Span, bucketNs int64) Timeline {
 
 // NewTimelineN buckets the spans into exactly buckets windows spanning the
 // traced duration, so two executions of different lengths can be compared
-// bucket-for-bucket.
+// bucket-for-bucket. A non-positive bucket count or a span set with no
+// DRAM traffic returns an empty timeline, like NewTimeline.
 func NewTimelineN(spans []Span, buckets int) Timeline {
 	if buckets < 1 {
-		buckets = 1
+		return Timeline{}
 	}
 	minStart, maxEnd := int64(math.MaxInt64), int64(math.MinInt64)
 	any := false

@@ -1,0 +1,55 @@
+package obs
+
+import "testing"
+
+// The timeline constructors promise to degrade to an empty timeline on
+// degenerate input — non-positive bucket sizes/counts and span sets with no
+// DRAM traffic — instead of panicking or allocating a bucket per nanosecond.
+func TestTimelineDegenerateInputs(t *testing.T) {
+	traffic := []Span{span(0, 100, 64, PhasePack), span(200, 50, 32, PhaseCompute)}
+	reuseOnly := []Span{span(0, 0, 1<<20, PhaseReuse)}
+
+	cases := []struct {
+		name  string
+		build func() Timeline
+	}{
+		{"NewTimeline zero bucket size", func() Timeline { return NewTimeline(traffic, 0) }},
+		{"NewTimeline negative bucket size", func() Timeline { return NewTimeline(traffic, -100) }},
+		{"NewTimeline nil spans", func() Timeline { return NewTimeline(nil, 100) }},
+		{"NewTimeline empty spans", func() Timeline { return NewTimeline([]Span{}, 100) }},
+		{"NewTimeline reuse-only spans", func() Timeline { return NewTimeline(reuseOnly, 100) }},
+		{"NewTimeline all degenerate", func() Timeline { return NewTimeline(nil, 0) }},
+		{"NewTimelineN zero buckets", func() Timeline { return NewTimelineN(traffic, 0) }},
+		{"NewTimelineN negative buckets", func() Timeline { return NewTimelineN(traffic, -3) }},
+		{"NewTimelineN nil spans", func() Timeline { return NewTimelineN(nil, 12) }},
+		{"NewTimelineN reuse-only spans", func() Timeline { return NewTimelineN(reuseOnly, 12) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tl := c.build() // must not panic
+			if len(tl.Bytes) != 0 {
+				t.Fatalf("got %d buckets, want an empty timeline", len(tl.Bytes))
+			}
+			st := tl.Stats()
+			if st.Buckets != 0 || st.MeanBps != 0 || st.PeakBps != 0 || st.CoV != 0 || st.TotalB != 0 {
+				t.Fatalf("empty timeline stats = %+v, want all zero", st)
+			}
+		})
+	}
+}
+
+// Well-formed input right at the edge of degenerate must still work: a
+// single instant span and a one-bucket timeline.
+func TestTimelineMinimalValidInputs(t *testing.T) {
+	tl := NewTimeline([]Span{span(500, 0, 40, PhaseUnpack)}, 100)
+	if len(tl.Bytes) != 1 {
+		t.Fatalf("instant-span timeline has %d buckets, want 1", len(tl.Bytes))
+	}
+	approx(t, "instant span bytes", tl.Bytes[0], 40)
+
+	tl = NewTimelineN([]Span{span(0, 1000, 64, PhasePack)}, 1)
+	if len(tl.Bytes) != 1 {
+		t.Fatalf("one-bucket timeline has %d buckets, want 1", len(tl.Bytes))
+	}
+	approx(t, "one-bucket total", tl.Stats().TotalB, 64)
+}

@@ -39,7 +39,10 @@ type traceFile struct {
 // WriteChromeTrace exports the recorders' spans as Chrome Trace Event JSON.
 // Each process's timestamps are shifted so its earliest span starts at
 // t=0, letting sequentially captured executions (CAKE then GOTO on the
-// same shape) line up for visual comparison.
+// same shape) line up for visual comparison. A recorder whose rings have
+// wrapped gets a "dropped_spans" metadata event carrying the overwrite
+// count, so a truncated trace announces itself instead of silently showing
+// a shortened execution.
 func WriteChromeTrace(w io.Writer, procs ...Process) error {
 	f := traceFile{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{}}
 	for pi, p := range procs {
@@ -48,6 +51,12 @@ func WriteChromeTrace(w io.Writer, procs ...Process) error {
 			Name: "process_name", Ph: "M", Pid: pid,
 			Args: map[string]any{"name": p.Name},
 		})
+		if d := p.Rec.Dropped(); d > 0 {
+			f.TraceEvents = append(f.TraceEvents, traceEvent{
+				Name: "dropped_spans", Ph: "M", Pid: pid,
+				Args: map[string]any{"count": d},
+			})
+		}
 		spans := p.Rec.Spans()
 		if len(spans) == 0 {
 			continue

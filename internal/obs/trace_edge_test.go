@@ -1,0 +1,75 @@
+package obs
+
+import "testing"
+
+func TestWriteChromeTraceZeroProcesses(t *testing.T) {
+	f := exportAndDecode(t) // no processes at all
+	if len(f.TraceEvents) != 0 {
+		t.Fatalf("events = %+v, want none", f.TraceEvents)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+}
+
+func TestWriteChromeTraceProcessWithZeroSpans(t *testing.T) {
+	busy := NewRecorder(1, 4)
+	busy.Record(0, Span{StartNs: 100, DurNs: 10, Bytes: 8, Phase: PhasePack})
+	idle := NewRecorder(2, 4)
+
+	f := exportAndDecode(t, Process{Name: "busy", Rec: busy}, Process{Name: "idle", Rec: idle})
+	// The idle process still announces itself via process_name, with no
+	// span or thread events under its pid.
+	var idleName bool
+	for _, ev := range f.TraceEvents {
+		if ev.Pid != 2 {
+			continue
+		}
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			idleName = true
+			continue
+		}
+		t.Fatalf("unexpected event under idle pid: %+v", ev)
+	}
+	if !idleName {
+		t.Fatal("idle process missing process_name metadata")
+	}
+}
+
+func TestWriteChromeTraceDroppedSpansMetadata(t *testing.T) {
+	// Ring of 4 spans per worker; record 7 so 3 are overwritten.
+	r := NewRecorder(1, 4)
+	for i := 0; i < 7; i++ {
+		r.Record(0, Span{StartNs: int64(i) * 100, DurNs: 50, Bytes: 8, Phase: PhaseCompute})
+	}
+	if r.Dropped() != 3 {
+		t.Fatalf("Dropped() = %d, want 3 (ring behaviour changed?)", r.Dropped())
+	}
+
+	f := exportAndDecode(t, Process{Name: "cake", Rec: r})
+	var dropped *decodedEvent
+	for i := range f.TraceEvents {
+		if f.TraceEvents[i].Name == "dropped_spans" {
+			dropped = &f.TraceEvents[i]
+		}
+	}
+	if dropped == nil {
+		t.Fatal("no dropped_spans metadata event in truncated trace")
+	}
+	if dropped.Ph != "M" || dropped.Pid != 1 {
+		t.Fatalf("dropped_spans event = %+v", dropped)
+	}
+	if count, _ := dropped.Args["count"].(float64); count != 3 {
+		t.Fatalf("dropped_spans count = %v, want 3", dropped.Args["count"])
+	}
+
+	// An untruncated recorder must not emit the event.
+	ok := NewRecorder(1, 4)
+	ok.Record(0, Span{StartNs: 0, DurNs: 1, Bytes: 1, Phase: PhasePack})
+	f = exportAndDecode(t, Process{Name: "ok", Rec: ok})
+	for _, ev := range f.TraceEvents {
+		if ev.Name == "dropped_spans" {
+			t.Fatalf("dropped_spans emitted for untruncated recorder: %+v", ev)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// Per-phase DRAM traffic accounting: the common currency between the
+// executors' analytical predictions (core/gotoalg PredictTraffic) and the
+// traffic a traced run actually recorded. The conformance layer joins the
+// two — the paper's §4.2/§4.4 claims are exactly statements about these
+// three numbers.
+package obs
+
+// Traffic is DRAM traffic split by execution phase, in bytes.
+type Traffic struct {
+	PackBytes    int64 `json:"pack_bytes"`    // operand reads into packed panels
+	ComputeBytes int64 `json:"compute_bytes"` // traffic during macro-kernels (0 for CAKE; partial-C streaming for GOTO)
+	UnpackBytes  int64 `json:"unpack_bytes"`  // resident-C fold-back read-modify-writes
+}
+
+// TotalBytes returns the traffic summed over phases.
+func (t Traffic) TotalBytes() int64 { return t.PackBytes + t.ComputeBytes + t.UnpackBytes }
+
+// MeasuredTraffic reduces recorded spans to per-phase DRAM traffic. Reuse
+// spans carry traffic that never reached DRAM, so they are excluded from
+// the Traffic and returned separately as avoided bytes — a traced run's
+// pack traffic plus its avoided bytes should meet the executor's no-reuse
+// prediction.
+func MeasuredTraffic(spans []Span) (t Traffic, avoidedBytes int64) {
+	for _, s := range spans {
+		switch s.Phase {
+		case PhasePack:
+			t.PackBytes += s.Bytes
+		case PhaseCompute:
+			t.ComputeBytes += s.Bytes
+		case PhaseUnpack:
+			t.UnpackBytes += s.Bytes
+		case PhaseReuse:
+			avoidedBytes += s.Bytes
+		}
+	}
+	return t, avoidedBytes
+}

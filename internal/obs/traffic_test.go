@@ -1,0 +1,29 @@
+package obs
+
+import "testing"
+
+func TestMeasuredTraffic(t *testing.T) {
+	spans := []Span{
+		span(0, 10, 100, PhasePack),
+		span(10, 10, 200, PhasePack),
+		span(20, 10, 30, PhaseCompute),
+		span(30, 10, 40, PhaseUnpack),
+		span(40, 0, 5000, PhaseReuse),
+		span(40, 0, 1000, PhaseReuse),
+	}
+	tr, avoided := MeasuredTraffic(spans)
+	if tr.PackBytes != 300 || tr.ComputeBytes != 30 || tr.UnpackBytes != 40 {
+		t.Fatalf("traffic = %+v", tr)
+	}
+	if tr.TotalBytes() != 370 {
+		t.Fatalf("total = %d, want 370", tr.TotalBytes())
+	}
+	if avoided != 6000 {
+		t.Fatalf("avoided = %d, want 6000", avoided)
+	}
+
+	tr, avoided = MeasuredTraffic(nil)
+	if tr != (Traffic{}) || avoided != 0 {
+		t.Fatalf("empty input: traffic = %+v, avoided = %d", tr, avoided)
+	}
+}

@@ -1,0 +1,57 @@
+package tenant
+
+import (
+	"encoding/json"
+	"expvar"
+	"sync"
+)
+
+// tenantsVar is the process-wide "cake_tenants" expvar. expvar panics on
+// duplicate Publish, so registration happens once; subsequent Publish calls
+// on any Plan replace the map's contents.
+var (
+	publishOnce sync.Once
+	tenantsVar  *expvar.Map
+)
+
+// assignmentVar renders one Assignment as a JSON expvar value.
+type assignmentVar struct {
+	Cores     int     `json:"cores"`
+	LLCBytes  int64   `json:"llc_bytes"`
+	DRAMBWBps float64 `json:"dram_bw_bps"`
+	M         int     `json:"m"`
+	K         int     `json:"k"`
+	N         int     `json:"n"`
+	MC        int     `json:"mc"`
+	KC        int     `json:"kc"`
+	Alpha     float64 `json:"alpha"`
+}
+
+func (v assignmentVar) String() string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
+
+// Publish exposes the plan's per-tenant resource slices under the
+// "cake_tenants" expvar map, so a live partition is inspectable at
+// /debug/vars alongside the executor metrics. Re-publishing (a new plan)
+// replaces all entries.
+func (p Plan) Publish() {
+	publishOnce.Do(func() {
+		tenantsVar = expvar.NewMap("cake_tenants")
+	})
+	tenantsVar.Init()
+	for _, as := range p.Assignments {
+		tenantsVar.Set(as.Job.Name, assignmentVar{
+			Cores:     as.Cores,
+			LLCBytes:  as.LLCBytes,
+			DRAMBWBps: as.DRAMBW,
+			M:         as.Job.M,
+			K:         as.Job.K,
+			N:         as.Job.N,
+			MC:        as.Config.MC,
+			KC:        as.Config.KC,
+			Alpha:     as.Config.Alpha,
+		})
+	}
+}

@@ -1,6 +1,8 @@
 package tenant
 
 import (
+	"encoding/json"
+	"expvar"
 	"testing"
 
 	"repro/internal/platform"
@@ -177,5 +179,49 @@ func TestPlanTenantsSingleJobGetsEverything(t *testing.T) {
 	}
 	if s := res[0].Share(); s < 0.95 {
 		t.Fatalf("single tenant share %v", s)
+	}
+}
+
+func TestPublishExposesTenantExpvar(t *testing.T) {
+	pl := platform.IntelI9()
+	jobs := []Job{
+		{Name: "training", M: 2048, K: 2048, N: 2048},
+		{Name: "serving", M: 1024, K: 1024, N: 1024},
+	}
+	plan, err := PlanTenants(pl, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Publish()
+	v := expvar.Get("cake_tenants")
+	if v == nil {
+		t.Fatal("cake_tenants expvar not registered")
+	}
+	var decoded map[string]map[string]any
+	if err := json.Unmarshal([]byte(v.String()), &decoded); err != nil {
+		t.Fatalf("cake_tenants is not JSON: %v\n%s", err, v.String())
+	}
+	for _, name := range []string{"training", "serving"} {
+		entry, ok := decoded[name]
+		if !ok {
+			t.Fatalf("tenant %q missing from %v", name, decoded)
+		}
+		if entry["cores"].(float64) < 1 || entry["kc"].(float64) <= 0 {
+			t.Fatalf("tenant %q has degenerate slice: %v", name, entry)
+		}
+	}
+
+	// Re-publishing a smaller plan replaces, not accumulates.
+	plan2, err := PlanTenants(pl, jobs[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan2.Publish()
+	decoded = nil
+	if err := json.Unmarshal([]byte(expvar.Get("cake_tenants").String()), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if _, stale := decoded["serving"]; stale || len(decoded) != 1 {
+		t.Fatalf("re-publish did not replace entries: %v", decoded)
 	}
 }

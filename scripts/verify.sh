@@ -16,4 +16,10 @@ go test ./...
 echo "== go test -race ./internal/pool ./internal/core ./internal/obs"
 go test -race ./internal/pool ./internal/core ./internal/obs
 
+# Deterministic self-check of the benchmark regression gate: the committed
+# baseline compared against itself must always pass. Catches artifact-format
+# drift without benchmarking the (noisy) CI host.
+echo "== cake-bench check -candidate results/baseline"
+go run ./cmd/cake-bench check -candidate results/baseline
+
 echo "verify: OK"

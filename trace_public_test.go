@@ -3,7 +3,9 @@ package cake
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"math/rand"
+	"net/http"
 	"strings"
 	"testing"
 )
@@ -62,4 +64,47 @@ func TestTracePublicAPI(t *testing.T) {
 		t.Fatalf("timeline stats empty: %+v", st)
 	}
 	EnableMetrics() // must not panic when called twice across tests
+}
+
+// TestServeDebugPublicAPI starts the debug server through the public
+// wrappers and hits the endpoints a live operator would.
+func TestServeDebugPublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	a := NewMatrix[float32](40, 32)
+	b := NewMatrix[float32](32, 40)
+	c := NewMatrix[float32](40, 40)
+	a.Randomize(rng)
+	b.Randomize(rng)
+
+	cfg := Config{Cores: 2, MC: 16, KC: 16, Alpha: 1, MR: 8, NR: 8}
+	rec := NewTraceRecorder(cfg.Cores, 0)
+	e, err := NewExecutor[float32](cfg, WithTrace(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.Gemm(c, a, b); err != nil {
+		t.Fatal(err)
+	}
+	RegisterTraceProcess("public-cake", rec)
+
+	srv, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/debug/vars", "/debug/trace.json", "/debug/timeline.json"} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		if path == "/debug/trace.json" && !strings.Contains(string(body), "public-cake") {
+			t.Fatalf("trace missing registered process: %s", body)
+		}
+	}
 }
