@@ -3,7 +3,7 @@ package cake
 import (
 	"fmt"
 
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/matrix"
 )
 
@@ -49,16 +49,13 @@ func blasGemm[T Scalar](transA, transB bool, m, n, k int, alpha T, a []T, lda in
 	}); err != nil {
 		return fmt.Errorf("cake: gemm operands: %v", err)
 	}
-	cfg, err := Plan[T](Host(), m, k, n)
+	// Route through the process-wide engine: tiny problems skip the CB
+	// machinery, and concurrent BLAS callers never share an executor.
+	e, err := DefaultEngine()
 	if err != nil {
 		return err
 	}
-	e, err := core.NewExecutor[T](cfg, nil)
-	if err != nil {
-		return err
-	}
-	defer e.Close()
-	_, err = e.GemmScaled(mc, ma, mb, transA, transB, alpha, beta)
+	_, err = engine.GemmScaled(e, mc, ma, mb, transA, transB, alpha, beta)
 	return err
 }
 

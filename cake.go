@@ -25,6 +25,7 @@ import (
 	"runtime"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gotoalg"
 	"repro/internal/matrix"
 	"repro/internal/obs"
@@ -181,15 +182,18 @@ func NewExecutor[T Scalar](cfg Config, opts ...ExecutorOption) (*Executor[T], er
 	return core.NewExecutor[T](cfg, nil, opts...)
 }
 
-// Gemm computes C += A×B with CAKE, planning for the host automatically.
-// For repeated calls build an Executor once instead.
+// Gemm computes C += A×B with CAKE through the process-wide engine:
+// problems are dispatched by size tier (direct microkernel for L1-resident
+// shapes, one CB block for cache-resident ones, full pipelined CAKE beyond)
+// and concurrent callers each get their own leased executor, so Gemm is
+// safe to call from any number of goroutines.
 func Gemm[T Scalar](c, a, b *Matrix[T]) error {
 	matrix.CheckMul(c, a, b)
-	cfg, err := Plan[T](Host(), a.Rows, a.Cols, b.Cols)
+	e, err := DefaultEngine()
 	if err != nil {
 		return err
 	}
-	_, err = GemmWithConfig(c, a, b, cfg)
+	_, err = engine.Gemm(e, c, a, b)
 	return err
 }
 
@@ -200,21 +204,14 @@ func GemmWithConfig[T Scalar](c, a, b *Matrix[T], cfg Config) (Stats, error) {
 
 // GemmT computes C += op(A)×op(B), transposing an operand during packing
 // when its flag is set (A stored K×M when transA, B stored N×K when
-// transB), planning for the host automatically.
+// transB). Like Gemm it routes through the process-wide engine and is safe
+// for concurrent callers.
 func GemmT[T Scalar](c, a, b *Matrix[T], transA, transB bool) error {
-	m, k := a.Rows, a.Cols
-	if transA {
-		m, k = k, m
-	}
-	n := b.Cols
-	if transB {
-		n = b.Rows
-	}
-	cfg, err := Plan[T](Host(), m, k, n)
+	e, err := DefaultEngine()
 	if err != nil {
 		return err
 	}
-	_, err = core.GemmT(c, a, b, cfg, transA, transB)
+	_, err = engine.GemmT(e, c, a, b, transA, transB)
 	return err
 }
 
@@ -251,6 +248,51 @@ func NewPool(workers int) *pool.Pool { return pool.New(workers) }
 // NewExecutorWithPool prepares an executor on a shared pool.
 func NewExecutorWithPool[T Scalar](cfg Config, p *pool.Pool, opts ...ExecutorOption) (*Executor[T], error) {
 	return core.NewExecutor[T](cfg, p, opts...)
+}
+
+// Engine is the process-wide concurrent GEMM front end: size-tiered
+// dispatch (direct microkernel / single CB block / full pipelined CAKE),
+// per-tier executor leasing, and §4.3 core partitioning with admission
+// queueing. Build one with NewEngine for explicit control, or use
+// DefaultEngine (which Gemm, GemmT, SGemm and DGemm share).
+type Engine = engine.Engine
+
+// EngineOptions configures NewEngine.
+type EngineOptions = engine.Options
+
+// EngineTier is a problem-size class with its own dispatch path.
+type EngineTier = engine.Tier
+
+// Engine size tiers.
+const (
+	TierTiny  = engine.TierTiny
+	TierSmall = engine.TierSmall
+	TierLarge = engine.TierLarge
+)
+
+// Engine and executor sentinel errors.
+var (
+	// ErrEngineSaturated: admission queue at EngineOptions.MaxQueue.
+	ErrEngineSaturated = engine.ErrSaturated
+	// ErrEngineClosed: request after Engine.Close.
+	ErrEngineClosed = engine.ErrClosed
+	// ErrExecutorInUse: concurrent Gemm on a single-flight Executor — lease
+	// executors through an Engine instead.
+	ErrExecutorInUse = core.ErrInUse
+)
+
+// NewEngine builds a concurrent GEMM engine. A nil EngineOptions.Platform
+// detects the host.
+func NewEngine(opts EngineOptions) (*Engine, error) { return engine.NewEngine(opts) }
+
+// EngineGemm computes C += A×B through an engine.
+func EngineGemm[T Scalar](e *Engine, c, a, b *Matrix[T]) (Stats, error) {
+	return engine.Gemm(e, c, a, b)
+}
+
+// EngineGemmScaled computes C = α·op(A)×op(B) + β·C through an engine.
+func EngineGemmScaled[T Scalar](e *Engine, c, a, b *Matrix[T], transA, transB bool, alpha, beta T) (Stats, error) {
+	return engine.GemmScaled(e, c, a, b, transA, transB, alpha, beta)
 }
 
 func elemSize[T Scalar](v T) int {

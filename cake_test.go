@@ -178,26 +178,6 @@ func TestHostPlatform(t *testing.T) {
 	}
 }
 
-func TestParseCacheSize(t *testing.T) {
-	cases := map[string]int64{
-		"32K":  32 << 10,
-		"8M":   8 << 20,
-		"1G":   1 << 30,
-		"4096": 4096,
-	}
-	for in, want := range cases {
-		got, ok := parseCacheSize(in)
-		if !ok || got != want {
-			t.Fatalf("parseCacheSize(%q) = %d,%v want %d", in, got, ok, want)
-		}
-	}
-	for _, bad := range []string{"", "K", "-4K", "x"} {
-		if _, ok := parseCacheSize(bad); ok {
-			t.Fatalf("parseCacheSize(%q) accepted", bad)
-		}
-	}
-}
-
 func TestPublicConstantsWired(t *testing.T) {
 	if DimN.String() != "N" || DimM.String() != "M" || DimK.String() != "K" {
 		t.Fatal("compute-dim re-exports")

@@ -4,12 +4,14 @@
 //
 // Usage:
 //
-//	cake-bench [flags] table2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|packshare|gemm|trace|tenant|all
+//	cake-bench [flags] table2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|packshare|gemm|trace|tenant|serve|all
 //
 // Flags:
 //
-//	-quick    scale problem sizes down (~10x faster, same curve shapes)
-//	-csv DIR  also write each panel as CSV under DIR
+//	-quick       scale problem sizes down (~10x faster, same curve shapes)
+//	-csv DIR     also write each panel as CSV under DIR
+//	-clients N   serve: concurrent client streams (default max(8, GOMAXPROCS))
+//	-dur D       serve: measurement window per serving mode (default 8s, 2s with -quick)
 //
 // The gemm target compares the synchronous and pipelined executors on real
 // host GEMMs and writes machine-readable BENCH_gemm.json. The trace target
@@ -18,6 +20,11 @@
 // https://ui.perfetto.dev) plus BENCH_bwtimeline.json (the bucketed
 // bandwidth timelines whose coefficients of variation test the paper's
 // constant-bandwidth claim).
+//
+// The serve target measures concurrent serving throughput: mixed-size
+// client streams through the tiered engine vs a mutex-serialized single
+// executor, writing BENCH_serve.json (per-tier GEMMs/s and latency
+// percentiles, aggregate speedup, tiny dispatch A/B).
 //
 // The check subcommand is a noise-aware regression gate: it diffs fresh
 // (or -candidate directory) benchmark artifacts against the committed
@@ -52,6 +59,8 @@ func main() {
 	}
 	quick := flag.Bool("quick", false, "scale problem sizes down for fast runs")
 	csvDir := flag.String("csv", "", "directory to write CSV files into")
+	flag.IntVar(&serveClients, "clients", 0, "serve: concurrent client streams (0 = max(8, GOMAXPROCS))")
+	flag.DurationVar(&serveDur, "dur", 0, "serve: measurement window per mode (0 = 8s, 2s with -quick)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -65,7 +74,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cake-bench [-quick] [-csv DIR] table2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|packshare|gemm|trace|tenant|all")
+	fmt.Fprintln(os.Stderr, "usage: cake-bench [-quick] [-csv DIR] [-clients N] [-dur D] table2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|packshare|gemm|trace|tenant|serve|all")
 	fmt.Fprintln(os.Stderr, "       cake-bench check [-baseline DIR] [-candidate DIR] [-runs N] [-threshold F] [-quick]")
 }
 
@@ -123,6 +132,19 @@ func runCheck(args []string, w io.Writer) error {
 		}
 		res = benchgate.Result{Findings: benchgate.CompareGemm(baseGemm, candGemm, opt)}
 		res.Findings = append(res.Findings, benchgate.CompareTimeline(baseTL, candTL, opt)...)
+		// Serve joined the artifact set later: gate it only when the
+		// baseline directory carries one.
+		if _, statErr := os.Stat(filepath.Join(*baseline, "BENCH_serve.json")); statErr == nil {
+			baseServe, err := benchgate.LoadServe(filepath.Join(*baseline, "BENCH_serve.json"))
+			if err != nil {
+				return err
+			}
+			candServe, err := benchgate.FreshServe(cores, baseServe.Clients, *quick, opt.MinRuns)
+			if err != nil {
+				return err
+			}
+			res.Findings = append(res.Findings, benchgate.CompareServe(baseServe, candServe, opt)...)
+		}
 	}
 	res.Render(w)
 	if !res.OK() {
@@ -147,6 +169,14 @@ func updateBaseline(dir string, quick bool, runs int, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	clients := cores
+	if clients < 8 {
+		clients = 8
+	}
+	serve, err := benchgate.BaselineServe(cores, clients, quick, runs)
+	if err != nil {
+		return err
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -156,6 +186,7 @@ func updateBaseline(dir string, quick bool, runs int, w io.Writer) error {
 	}{
 		{"BENCH_gemm.json", gemm},
 		{"BENCH_bwtimeline.json", tl},
+		{"BENCH_serve.json", serve},
 	} {
 		data, err := json.MarshalIndent(art.v, "", "  ")
 		if err != nil {
@@ -178,6 +209,7 @@ func run(target string, quick bool, csvDir string, w io.Writer) error {
 		"gemm":      gemmBench,
 		"trace":     traceBench,
 		"tenant":    tenants,
+		"serve":     serveBench,
 		"fig7":      fig7,
 		"fig8":      fig8,
 		"fig9":      fig9,
@@ -302,6 +334,64 @@ func traceBench(quick bool, csvDir string, w io.Writer) error {
 	fmt.Fprintf(w, "wrote %s and %s (open trace.json in https://ui.perfetto.dev)\n\n",
 		filepath.Join(dir, "trace.json"), filepath.Join(dir, "BENCH_bwtimeline.json"))
 	return nil
+}
+
+// serveClients/serveDur are the serve target's knobs, bound to flags in
+// main(); their zero values mean "pick a sensible default".
+var (
+	serveClients int
+	serveDur     time.Duration
+)
+
+// serveBench measures concurrent serving throughput — mixed-size client
+// streams through the tiered engine vs the mutex-serialized baseline — and
+// writes machine-readable BENCH_serve.json into csvDir (or the current
+// directory).
+func serveBench(quick bool, csvDir string, w io.Writer) error {
+	clients := serveClients
+	if clients <= 0 {
+		clients = runtime.GOMAXPROCS(0)
+		if clients < 8 {
+			clients = 8
+		}
+	}
+	dur := serveDur
+	if dur <= 0 {
+		dur = 8 * time.Second
+		if quick {
+			dur = 2 * time.Second
+		}
+	}
+	res, err := experiments.ServeBench(runtime.GOMAXPROCS(0), clients, dur, quick)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== serve: engine vs serialized executor, %d clients (%s), %s per mode ==\n",
+		res.Clients, res.ClientMix, dur)
+	fmt.Fprintf(w, "%-12s %-7s %10s %12s %12s %12s %12s %9s\n",
+		"mode", "tier", "requests", "GEMMs/s", "p50 µs", "p95 µs", "p99 µs", "GFLOP/s")
+	for _, row := range res.Tiers {
+		fmt.Fprintf(w, "%-12s %-7s %10d %12.1f %12.1f %12.1f %12.1f %9.3f\n",
+			row.Mode, row.Tier, row.Requests, row.GemmsPerSec,
+			row.P50Micros, row.P95Micros, row.P99Micros, row.GFLOPS)
+	}
+	fmt.Fprintf(w, "engine %.1f GEMMs/s (%.2f GFLOP/s) vs serialized %.1f GEMMs/s (%.2f GFLOP/s): %.1fx\n",
+		res.EngineGemmsPer, res.EngineGFLOPS, res.SerializedGemms, res.SerializedGFLOPS, res.Speedup)
+	fmt.Fprintf(w, "tiny dispatch A/B: direct %.1fµs vs full-CAKE %.1fµs p50; leases %d new / %d reused, %d queued\n\n",
+		res.TinyDirectP50Micros, res.TinyCakeP50Micros, res.LeaseNew, res.LeaseReused, res.QueuedTotal)
+
+	path := "BENCH_serve.json"
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		path = filepath.Join(csvDir, path)
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // tenants runs the Section 6.1 multi-tenant partition on the Intel model.

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestRunTable2AndFig4(t *testing.T) {
@@ -40,6 +41,32 @@ func TestRunGemmWritesJSON(t *testing.T) {
 	for _, want := range []string{`"gflops"`, `"pack_share"`, `"reused_a_elems"`, `"speedup_vs_sync"`} {
 		if !strings.Contains(string(data), want) {
 			t.Fatalf("BENCH_gemm.json missing %s", want)
+		}
+	}
+}
+
+func TestRunServeWritesJSON(t *testing.T) {
+	dir := t.TempDir()
+	oldDur, oldClients := serveDur, serveClients
+	serveDur, serveClients = 300*time.Millisecond, 4
+	defer func() { serveDur, serveClients = oldDur, oldClients }()
+	var buf bytes.Buffer
+	if err := run("serve", true, dir, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"engine", "serialized", "tiny", "GEMMs/s", "dispatch A/B"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("serve table missing %q in %q", want, out)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_serve.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"speedup"`, `"gemms_per_sec"`, `"tiny_direct_p50_micros"`, `"client_mix"`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("BENCH_serve.json missing %s", want)
 		}
 	}
 }

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/cbtheory"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/matrix"
 	"repro/internal/obs"
 	"repro/internal/obs/conformance"
@@ -92,9 +93,12 @@ func main() {
 	}
 }
 
-// serveLive publishes the partition and the executor metrics, then loops
-// scaled real GEMMs for each tenant — traced, conformance-checked against
-// the CB model, and inspectable over HTTP — until interrupted.
+// serveLive publishes the partition and the executor metrics, runs one
+// traced, conformance-checked GEMM per tenant, then drives all tenants
+// CONCURRENTLY through one shared engine — each tenant stream lands in a
+// different size tier, so the live counters (curl /debug/vars | jq
+// .cake_engine) show tiered dispatch, executor leasing, and admission
+// queueing under real contention — until interrupted.
 func serveLive(pl *platform.Platform, plan tenant.Plan, addr string) error {
 	obs.EnableMetrics()
 	plan.Publish()
@@ -106,41 +110,83 @@ func serveLive(pl *platform.Platform, plan tenant.Plan, addr string) error {
 	fmt.Printf("\ndebug server on http://%s — /metrics, /debug/vars, /debug/pprof/,\n", srv.Addr())
 	fmt.Println("/debug/trace.json, /debug/timeline.json, /debug/conformance.json")
 
+	// One-shot per tenant: a traced executor GEMM scored against the CB
+	// model, published as the tenant's conformance report.
 	rates := cbtheory.Rates{ClockHz: pl.ClockHz, FlopsPerCycle: pl.FlopsPerCycle, ElemBytes: 4}
 	rng := rand.New(rand.NewSource(1))
-	for {
-		for _, as := range plan.Assignments {
-			// Scale the tenant's job to example size; the planned blocking
-			// still applies (executors clip ragged edges).
-			m, k, n := min(as.Job.M, 128), min(as.Job.K, 512), min(as.Job.N, 256)
-			rec := obs.NewRecorder(as.Cores, 1<<14)
-			e, err := core.NewExecutor[float32](as.Config, nil, core.WithTrace(rec))
-			if err != nil {
-				return err
-			}
+	for _, as := range plan.Assignments {
+		// Scale the tenant's job to example size; the planned blocking
+		// still applies (executors clip ragged edges).
+		m, k, n := min(as.Job.M, 128), min(as.Job.K, 512), min(as.Job.N, 256)
+		rec := obs.NewRecorder(as.Cores, 1<<14)
+		e, err := core.NewExecutor[float32](as.Config, nil, core.WithTrace(rec))
+		if err != nil {
+			return err
+		}
+		a := matrix.New[float32](m, k)
+		b := matrix.New[float32](k, n)
+		c := matrix.New[float32](m, n)
+		a.Randomize(rng)
+		b.Randomize(rng)
+		if _, err := e.Gemm(c, a, b); err != nil {
+			e.Close()
+			return err
+		}
+		e.Close()
+		obs.RegisterProcess(as.Job.Name, rec)
+
+		cfg := as.Config
+		rep, err := conformance.Evaluate(conformance.Input{
+			Executor: "cake/" + as.Job.Name, M: m, K: k, N: n, ElemBytes: 4,
+			Cake:  &cfg,
+			Rates: rates, AvailBWBps: as.DRAMBW, PrivateCacheBytes: pl.L2Bytes,
+			Spans: rec.Spans(), Dropped: rec.Dropped(),
+		})
+		if err != nil {
+			return err
+		}
+		rep.Publish()
+	}
+
+	// The live phase: every tenant is a concurrent client of ONE engine.
+	// Training issues full-machine GEMMs, serving mid-size cache-resident
+	// ones, batch a stream of tiny multiplies — three tiers in flight at
+	// once, with per-tier hit and lease counters on /debug/vars.
+	eng, err := engine.NewEngine(engine.Options{Platform: pl, Name: "multitenant", LargePanelSlots: 4})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	// Sized against the i9 model's caches: training's §4.3 working set
+	// (~27 MB) exceeds the 20 MB LLC → large tier; serving stays
+	// cache-resident → small; batch fits L1 → tiny.
+	sizes := map[string][3]int{
+		"training": {1200, 1200, 1200},
+		"serving":  {128, 512, 256},
+		"batch":    {24, 24, 24},
+	}
+	errCh := make(chan error, len(plan.Assignments))
+	for i, as := range plan.Assignments {
+		dims, ok := sizes[as.Job.Name]
+		if !ok {
+			dims = [3]int{min(as.Job.M, 256), min(as.Job.K, 256), min(as.Job.N, 256)}
+		}
+		go func(seed int64, m, k, n int) {
+			rng := rand.New(rand.NewSource(seed))
 			a := matrix.New[float32](m, k)
 			b := matrix.New[float32](k, n)
 			c := matrix.New[float32](m, n)
 			a.Randomize(rng)
 			b.Randomize(rng)
-			if _, err := e.Gemm(c, a, b); err != nil {
-				e.Close()
-				return err
+			for {
+				if _, err := engine.Gemm(eng, c, a, b); err != nil {
+					errCh <- err
+					return
+				}
 			}
-			e.Close()
-			obs.RegisterProcess(as.Job.Name, rec)
-
-			cfg := as.Config
-			rep, err := conformance.Evaluate(conformance.Input{
-				Executor: "cake/" + as.Job.Name, M: m, K: k, N: n, ElemBytes: 4,
-				Cake:  &cfg,
-				Rates: rates, AvailBWBps: as.DRAMBW, PrivateCacheBytes: pl.L2Bytes,
-				Spans: rec.Spans(), Dropped: rec.Dropped(),
-			})
-			if err != nil {
-				return err
-			}
-			rep.Publish()
-		}
+		}(int64(i+2), dims[0], dims[1], dims[2])
 	}
+	fmt.Printf("driving %d tenant streams through engine %q — ^C to stop\n",
+		len(plan.Assignments), "multitenant")
+	return <-errCh
 }

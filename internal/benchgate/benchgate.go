@@ -223,6 +223,19 @@ func CompareDirs(baseDir, candDir string, opt Options) (Result, error) {
 	}
 	res := Result{Findings: CompareGemm(bg, cg, opt)}
 	res.Findings = append(res.Findings, CompareTimeline(bt, ct, opt)...)
+	// The serve artifact arrived later than the other two; gate it only when
+	// the baseline directory has one, so older checkouts still compare.
+	if _, err := os.Stat(filepath.Join(baseDir, "BENCH_serve.json")); err == nil {
+		bs, err := LoadServe(filepath.Join(baseDir, "BENCH_serve.json"))
+		if err != nil {
+			return Result{}, err
+		}
+		cs, err := LoadServe(filepath.Join(candDir, "BENCH_serve.json"))
+		if err != nil {
+			return Result{}, err
+		}
+		res.Findings = append(res.Findings, CompareServe(bs, cs, opt)...)
+	}
 	return res, nil
 }
 

@@ -1,0 +1,166 @@
+package benchgate
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// baselineServe is a deterministic serve artifact shaped like a healthy
+// run: huge tiny throughput through the engine, convoyed tiny throughput
+// under the mutex, and a direct tiny path faster than full-CAKE dispatch.
+func baselineServe() experiments.ServeBenchResult {
+	return experiments.ServeBenchResult{
+		Cores: 1, Clients: 8, ClientMix: experiments.ServeClientMix, DurationSecs: 4,
+		Tiers: []experiments.ServeTierRow{
+			{Mode: "engine", Tier: "tiny", Requests: 4000, GemmsPerSec: 1000, P50Micros: 8},
+			{Mode: "engine", Tier: "small", Requests: 160, GemmsPerSec: 40, P50Micros: 50000},
+			{Mode: "engine", Tier: "large", Requests: 80, GemmsPerSec: 20, P50Micros: 52000},
+			{Mode: "serialized", Tier: "tiny", Requests: 220, GemmsPerSec: 55, P50Micros: 76000},
+			{Mode: "serialized", Tier: "small", Requests: 200, GemmsPerSec: 50, P50Micros: 5000},
+			{Mode: "serialized", Tier: "large", Requests: 80, GemmsPerSec: 20, P50Micros: 47000},
+		},
+		EngineGemmsPer: 1060, SerializedGemms: 125, Speedup: 8.48,
+		TinyDirectP50Micros: 8, TinyCakeP50Micros: 10.5,
+	}
+}
+
+func TestCompareServeIdenticalPasses(t *testing.T) {
+	res := Result{Findings: CompareServe(baselineServe(), baselineServe(), DefaultOptions())}
+	if !res.OK() {
+		t.Fatalf("self-compare regressed: %+v", res.Regressions())
+	}
+	// total + three engine tiers + speedup + tiny A/B.
+	if len(res.Findings) != 6 {
+		t.Fatalf("findings = %d, want 6", len(res.Findings))
+	}
+}
+
+func TestCompareServeGatesEngineThroughput(t *testing.T) {
+	opt := DefaultOptions()
+	cand := baselineServe()
+	cand.EngineGemmsPer = 1060 * 0.85 // 15% drop: inside the 20% allowance
+	res := Result{Findings: CompareServe(baselineServe(), cand, opt)}
+	if !res.OK() {
+		t.Fatalf("15%% drop flagged: %+v", res.Regressions())
+	}
+
+	cand.EngineGemmsPer = 1060 * 0.5
+	res = Result{Findings: CompareServe(baselineServe(), cand, opt)}
+	regs := res.Regressions()
+	if len(regs) != 1 || regs[0].Key != "engine/total" {
+		t.Fatalf("regressions = %+v, want engine/total only", regs)
+	}
+}
+
+func TestCompareServeSpeedupFloorIsAbsolute(t *testing.T) {
+	cand := baselineServe()
+	cand.Speedup = 1.4 // below the 2× floor even though baseline was 8.5×
+	res := Result{Findings: CompareServe(baselineServe(), cand, DefaultOptions())}
+	regs := res.Regressions()
+	if len(regs) != 1 || regs[0].Metric != "speedup" {
+		t.Fatalf("regressions = %+v, want the speedup floor", regs)
+	}
+	if regs[0].Limit != MinServeSpeedup {
+		t.Fatalf("speedup limit = %g, want the absolute floor %g", regs[0].Limit, MinServeSpeedup)
+	}
+}
+
+func TestCompareServeTinyABGate(t *testing.T) {
+	cand := baselineServe()
+	cand.TinyDirectP50Micros = 15 // direct dispatch slower than full-CAKE's 10.5µs
+	res := Result{Findings: CompareServe(baselineServe(), cand, DefaultOptions())}
+	regs := res.Regressions()
+	if len(regs) != 1 || regs[0].Key != "tiny-ab/direct-vs-cake" {
+		t.Fatalf("regressions = %+v, want the tiny A/B gate", regs)
+	}
+}
+
+func TestCompareServeMissingEngineTierRow(t *testing.T) {
+	cand := baselineServe()
+	cand.Tiers = cand.Tiers[1:] // engine/tiny row vanished
+	res := Result{Findings: CompareServe(baselineServe(), cand, DefaultOptions())}
+	regs := res.Regressions()
+	if len(regs) != 1 || !strings.Contains(regs[0].Detail, "missing") {
+		t.Fatalf("regressions = %+v, want a missing-row finding", regs)
+	}
+}
+
+func TestCompareServeSerializedRowsInformational(t *testing.T) {
+	cand := baselineServe()
+	// The serialized side collapsing is not a regression of our code — it
+	// only makes the speedup larger.
+	for i := range cand.Tiers {
+		if cand.Tiers[i].Mode == "serialized" {
+			cand.Tiers[i].GemmsPerSec /= 10
+		}
+	}
+	cand.SerializedGemms /= 10
+	cand.Speedup *= 10
+	res := Result{Findings: CompareServe(baselineServe(), cand, DefaultOptions())}
+	if !res.OK() {
+		t.Fatalf("serialized-side drop flagged: %+v", res.Regressions())
+	}
+}
+
+func TestCompareDirsIncludesServeWhenBaselineHasIt(t *testing.T) {
+	writeJSON := func(t *testing.T, dir, name string, v any) {
+		t.Helper()
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	baseDir, candDir := t.TempDir(), t.TempDir()
+	for _, dir := range []string{baseDir, candDir} {
+		writeJSON(t, dir, "BENCH_gemm.json", baselineGemm())
+		writeJSON(t, dir, "BENCH_bwtimeline.json", baselineTimeline())
+	}
+
+	// Without a serve baseline the gate skips serve rows (back-compat).
+	res, err := CompareDirs(baseDir, candDir, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Findings {
+		if f.File == "BENCH_serve.json" {
+			t.Fatalf("serve finding without a serve baseline: %+v", f)
+		}
+	}
+
+	// With one, serve rows join the gate, and the self-check still passes.
+	writeJSON(t, baseDir, "BENCH_serve.json", baselineServe())
+	writeJSON(t, candDir, "BENCH_serve.json", baselineServe())
+	res, err = CompareDirs(baseDir, candDir, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("serve self-compare regressed: %+v", res.Regressions())
+	}
+	var serve int
+	for _, f := range res.Findings {
+		if f.File == "BENCH_serve.json" {
+			serve++
+		}
+	}
+	if serve != 6 {
+		t.Fatalf("serve findings = %d, want 6", serve)
+	}
+
+	// A candidate missing the serve artifact while the baseline has one is
+	// an error, not a silent pass.
+	if err := os.Remove(filepath.Join(candDir, "BENCH_serve.json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompareDirs(baseDir, candDir, DefaultOptions()); err == nil {
+		t.Fatal("missing candidate serve artifact did not error")
+	}
+}

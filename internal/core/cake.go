@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 	"unsafe"
 
@@ -128,11 +130,22 @@ type Executor[T matrix.Scalar] struct {
 	curBlk                       obs.Block
 
 	// Per-call operand orientation and scaling (set by GemmScaled for the
-	// duration of one multiplication; the executor is not safe for
-	// concurrent Gemm calls).
+	// duration of one multiplication). The executor is single-flight: inUse
+	// guards the packing buffers and per-call fields, and a concurrent Gemm
+	// call fails fast with ErrInUse instead of silently corrupting them.
+	// Callers that need concurrency lease one executor per in-flight call
+	// (see internal/engine).
+	inUse          atomic.Bool
 	transA, transB bool
 	alpha          T
 }
+
+// ErrInUse is returned by GemmScaled (and the entry points layered on it)
+// when a Gemm is started on an executor that is already running one.
+// Executors are single-flight by design — packing buffers, panel keys and
+// per-call scaling state are owned by the in-flight call — so concurrent
+// callers must use separate executors (internal/engine leases them).
+var ErrInUse = errors.New("core: executor is already running a GEMM (single-flight; use one executor per in-flight call, e.g. via the engine)")
 
 // NewExecutor validates cfg and prepares an executor. If p is nil the
 // executor creates (and owns) a pool with cfg.Cores workers; otherwise p
@@ -240,6 +253,10 @@ func (e *Executor[T]) GemmScaled(c, a, b *matrix.Matrix[T], transA, transB bool,
 		return Stats{}, fmt.Errorf("core: invalid GEMM dims C[%dx%d] = op(A)[%dx%d] x op(B)[%dx%d]",
 			c.Rows, c.Cols, m, k, kb, n)
 	}
+	if !e.inUse.CompareAndSwap(false, true) {
+		return Stats{}, ErrInUse
+	}
+	defer e.inUse.Store(false)
 	e.transA, e.transB, e.alpha = transA, transB, alpha
 	if e.rec != nil {
 		// Traced spans double as phase-latency histogram samples when the
@@ -358,6 +375,10 @@ func (e *Executor[T]) grow(m, k, n int) {
 		e.aTick = make([]int64, e.slots)
 		e.bTick = make([]int64, e.slots)
 	}
+	// Re-slice every buffer to this problem's need, not its capacity: after
+	// a huge call the slots keep their capacity for reuse, but the logical
+	// lengths shrink so pipeline stages (and bugs in offset arithmetic)
+	// can never touch stale tail capacity left over from the larger run.
 	for s := 0; s < e.slots; s++ {
 		if cap(e.packA[s]) < needA {
 			e.packA[s] = make([]T, needA)
@@ -365,13 +386,13 @@ func (e *Executor[T]) grow(m, k, n int) {
 		if cap(e.packB[s]) < needB {
 			e.packB[s] = make([]T, needB)
 		}
-		e.packA[s] = e.packA[s][:cap(e.packA[s])]
-		e.packB[s] = e.packB[s][:cap(e.packB[s])]
+		e.packA[s] = e.packA[s][:needA]
+		e.packB[s] = e.packB[s][:needB]
 	}
 	if cap(e.bufC) < needC {
 		e.bufC = make([]T, needC)
 	}
-	e.bufC = e.bufC[:cap(e.bufC)]
+	e.bufC = e.bufC[:needC]
 	if e.cfg.Dim == DimK {
 		if len(e.partials) != e.cfg.Cores {
 			e.partials = make([][]T, e.cfg.Cores)
@@ -380,7 +401,7 @@ func (e *Executor[T]) grow(m, k, n int) {
 			if cap(e.partials[i]) < needC {
 				e.partials[i] = make([]T, needC)
 			}
-			e.partials[i] = e.partials[i][:cap(e.partials[i])]
+			e.partials[i] = e.partials[i][:needC]
 		}
 	}
 }

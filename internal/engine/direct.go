@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/matrix"
+	"repro/internal/packing"
+	"repro/internal/schedule"
+
+	"repro/internal/core"
+)
+
+// DirectScratch is the tiny-GEMM fast path's working set: one packed panel
+// per operand, a local C accumulator and a kernel edge tile. For problems
+// whose whole footprint fits in L1 the CB-block machinery — block grids, the
+// K-first schedule, pipeline slots, pool dispatch — costs more than the
+// multiplication itself, so the direct path packs both operands once and
+// runs the macro-kernel as a single mr×nr tile sweep on the calling
+// goroutine.
+//
+// Numerically the path is the degenerate single-block CAKE execution: α is
+// folded into the packed A panel, C accumulates into a zeroed local buffer
+// and is added back once, and the per-element reduction runs k-ascending
+// inside the microkernel — bit-identical to core.Gemm with an undivided K
+// dimension (KC ≥ k) and the same register tile.
+type DirectScratch[T matrix.Scalar] struct {
+	kern    kernel.Kernel[T]
+	packA   []T
+	packB   []T
+	bufC    []T
+	scratch *kernel.Scratch[T]
+}
+
+// NewDirectScratch returns a direct-path working set for the given register
+// tile. Buffers grow on demand and are retained across calls.
+func NewDirectScratch[T matrix.Scalar](mr, nr int) *DirectScratch[T] {
+	k := kernel.Best[T](mr, nr)
+	return &DirectScratch[T]{kern: k, scratch: kernel.NewScratch[T](mr, nr)}
+}
+
+// Kernel returns the register tile the scratch packs for.
+func (d *DirectScratch[T]) Kernel() kernel.Kernel[T] { return d.kern }
+
+// GemmScaled computes C = α·op(A)×op(B) + β·C without blocking or worker
+// dispatch: pack A (α folded) and B whole, zero a local accumulator, run one
+// macro-kernel sweep with kc = k, add back into C.
+func (d *DirectScratch[T]) GemmScaled(c, a, b *matrix.Matrix[T], transA, transB bool, alpha, beta T) (core.Stats, error) {
+	m, k := a.Rows, a.Cols
+	if transA {
+		m, k = k, m
+	}
+	kb, n := b.Rows, b.Cols
+	if transB {
+		kb, n = n, kb
+	}
+	if k != kb || c.Rows != m || c.Cols != n {
+		return core.Stats{}, fmt.Errorf("engine: invalid GEMM dims C[%dx%d] = op(A)[%dx%d] x op(B)[%dx%d]",
+			c.Rows, c.Cols, m, k, kb, n)
+	}
+	if beta == 0 {
+		c.Zero()
+	} else if beta != 1 {
+		c.Scale(beta)
+	}
+	if alpha == 0 {
+		return core.Stats{}, nil
+	}
+
+	t0 := time.Now()
+	needA := packing.PackedASize(m, k, d.kern.MR)
+	needB := packing.PackedBSize(k, n, d.kern.NR)
+	needC := m * n
+	if cap(d.packA) < needA {
+		d.packA = make([]T, needA)
+	}
+	if cap(d.packB) < needB {
+		d.packB = make([]T, needB)
+	}
+	if cap(d.bufC) < needC {
+		d.bufC = make([]T, needC)
+	}
+	var ap, bp []T
+	if transA {
+		ap = packing.PackAT(d.packA[:needA], a, d.kern.MR, alpha)
+	} else {
+		ap = packing.PackA(d.packA[:needA], a, d.kern.MR, alpha)
+	}
+	if transB {
+		bp = packing.PackBT(d.packB[:needB], b, d.kern.NR)
+	} else {
+		bp = packing.PackB(d.packB[:needB], b, d.kern.NR)
+	}
+	cBlock := matrix.FromSlice(m, n, d.bufC[:needC])
+	cBlock.Zero()
+	packNs := time.Since(t0).Nanoseconds()
+
+	t0 = time.Now()
+	packing.Macro(d.kern, k, ap, bp, cBlock, d.scratch)
+	computeNs := time.Since(t0).Nanoseconds()
+
+	t0 = time.Now()
+	packing.AddInto(c, cBlock)
+	packNs += time.Since(t0).Nanoseconds()
+
+	return core.Stats{
+		Grid:         schedule.Dims{Mb: 1, Nb: 1, Kb: 1},
+		Blocks:       1,
+		PackedAElems: int64(m) * int64(k),
+		PackedBElems: int64(k) * int64(n),
+		UnpackCElems: int64(m) * int64(n),
+		PackNanos:    packNs,
+		ComputeNanos: computeNs,
+	}, nil
+}

@@ -1,0 +1,455 @@
+// Package engine is the process-wide concurrent GEMM front end. The paper's
+// §4.3 observation — CB blocks let p cores serve q simultaneous
+// multiplications by partitioning cores, without inflating DRAM traffic —
+// becomes a serving layer here:
+//
+//   - Size-tiered dispatch. A problem is classified against the platform's
+//     cache sizes: tiny GEMMs (whole footprint in L1) skip packing ceremony
+//     and block scheduling entirely via the direct microkernel path; small
+//     ones (§4.3 LRU rule C + 2(A+B) ≤ LLC) run as a single cache-resident
+//     CB block; everything else takes the full pipelined CAKE executor.
+//   - Executor leasing. core.Executor is single-flight (its packing buffers
+//     are per-call state), so the engine leases one executor per in-flight
+//     request from a per-tier sync.Pool cache. Leased executors share the
+//     engine's one worker pool and own no goroutines, so the GC can drop
+//     cold cache entries freely.
+//   - Core partitioning with admission queueing. Each pool-using tier
+//     (small, large) demands a core slice computed by tenant.SplitCores
+//     over the tier work weights — the §4.3 static partition — and a
+//     weighted FIFO semaphore admits requests while demand fits the
+//     machine, queueing (or rejecting, past MaxQueue) the rest. Tiny
+//     requests run on their caller's goroutine, hold no pool cores and
+//     skip admission.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/obs"
+	"repro/internal/platform"
+	"repro/internal/pool"
+	"repro/internal/tenant"
+)
+
+// Tier is a problem-size class with its own dispatch path.
+type Tier int
+
+const (
+	// TierTiny fits A, B and C in L1 together: direct microkernel path.
+	TierTiny Tier = iota
+	// TierSmall passes the §4.3 LRU rule against the LLC: one CB block.
+	TierSmall
+	// TierLarge is everything else: full pipelined CAKE.
+	TierLarge
+	tierCount
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierTiny:
+		return "tiny"
+	case TierSmall:
+		return "small"
+	case TierLarge:
+		return "large"
+	}
+	return fmt.Sprintf("tier(%d)", int(t))
+}
+
+// tierWeights are the relative core demands of the pool-using tiers (small,
+// large) for the §4.3 partition; SplitCores turns them into per-tier core
+// slices. The tiny tier is absent on purpose: its direct path runs entirely
+// on the calling goroutine and never dispatches to the shared worker pool,
+// so it holds zero pool cores and bypasses admission — a tiny GEMM is a few
+// microseconds of register-tile arithmetic, and queueing it behind
+// multi-millisecond CB-block runs would invert the latency story the tier
+// exists for.
+var tierWeights = []float64{2, 4}
+
+var (
+	// ErrSaturated is returned when admission would exceed Options.MaxQueue.
+	ErrSaturated = errors.New("engine: admission queue full")
+	// ErrClosed is returned for requests after Close.
+	ErrClosed = errors.New("engine: closed")
+)
+
+// Options configures NewEngine.
+type Options struct {
+	// Platform supplies cache sizes for tier thresholds and planning. Nil
+	// detects the host (platform.DetectHost) with GOMAXPROCS cores.
+	Platform *platform.Platform
+	// Name labels the engine in obs metrics. Default "default".
+	Name string
+	// MaxQueue bounds the admission queue; a request arriving with MaxQueue
+	// waiters already queued fails with ErrSaturated. 0 means unbounded.
+	MaxQueue int
+	// LargePanelSlots is the pipelined executor's panel cache size for the
+	// large tier (see core.WithPanelCache). 0 keeps the ping-pong default.
+	LargePanelSlots int
+}
+
+// tierSpec is one tier's static slice of the machine: its core demand and
+// the CAKE configs planned for that slice (per scalar type, since element
+// size changes the cache arithmetic).
+type tierSpec struct {
+	cores int
+	cfg32 core.Config
+	cfg64 core.Config
+}
+
+// typedCaches holds the per-scalar-type executor leases. Direct scratches
+// are pooled separately: the tiny tier leases a working set, not an
+// executor.
+type typedCaches[T matrix.Scalar] struct {
+	execs  [tierCount]sync.Pool // of *core.Executor[T]
+	direct sync.Pool            // of *DirectScratch[T]
+}
+
+// waiter is one queued admission request.
+type waiter struct {
+	cores int
+	ready chan struct{}
+	err   error
+}
+
+// Engine serves concurrent GEMMs over one shared worker pool.
+type Engine struct {
+	name       string
+	pl         *platform.Platform
+	pool       *pool.Pool
+	tiers      [tierCount]tierSpec
+	panelSlots int // large-tier panel cache (core.WithPanelCache), set once at construction
+
+	mu       sync.Mutex
+	free     int
+	waiters  []*waiter
+	maxQueue int
+	closed   bool
+	// closedFast mirrors closed for paths that never take mu (tiny tier).
+	closedFast atomic.Bool
+
+	f32 typedCaches[float32]
+	f64 typedCaches[float64]
+
+	inFlight    atomic.Int64
+	queued      atomic.Int64
+	queuedTotal atomic.Int64
+	rejected    atomic.Int64
+	tierHits    [tierCount]atomic.Int64
+	leaseNew    atomic.Int64
+	leaseReused atomic.Int64
+}
+
+// NewEngine builds an engine for the platform: plans per-tier configs on
+// proportional platform slices, starts the shared pool, and publishes the
+// engine's counters under the obs "cake_engine" expvar.
+func NewEngine(opts Options) (*Engine, error) {
+	pl := opts.Platform
+	if pl == nil {
+		pl = platform.DetectHost(runtime.GOMAXPROCS(0))
+	}
+	if err := pl.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	name := opts.Name
+	if name == "" {
+		name = "default"
+	}
+	e := &Engine{
+		name:     name,
+		pl:       pl,
+		free:     pl.Cores,
+		maxQueue: opts.MaxQueue,
+	}
+
+	// §4.3 static partition: per-tier core demands from the work weights,
+	// clamped to the machine (SplitCores floors every class at one core, so
+	// on small machines the demands sum above Cores and admission arbitrates).
+	// The tiny tier demands zero pool cores — its direct path runs on the
+	// calling goroutine (see tierWeights).
+	split := tenant.SplitCores(pl.Cores, tierWeights)
+	demands := [tierCount]int{TierTiny: 0, TierSmall: split[0], TierLarge: split[1]}
+	for t := Tier(0); t < tierCount; t++ {
+		cores := min(demands[t], pl.Cores)
+		spec := tierSpec{cores: cores}
+		if t == TierTiny {
+			// No executor config: the direct path has no CB geometry.
+			e.tiers[t] = spec
+			continue
+		}
+		// Plan against the tier's slice of the machine: its cores and a
+		// proportional LLC share, so each slice runs CAKE at its own
+		// constant bandwidth (Section 4.3).
+		slice := *pl
+		slice.Cores = cores
+		slice.LLCBytes = max(pl.LLCBytes*int64(cores)/int64(pl.Cores), 64<<10)
+		m, k, n := tierPlanShape(t, &slice)
+		var err error
+		if spec.cfg32, err = core.Plan(&slice, m, k, n, 4); err != nil {
+			return nil, fmt.Errorf("engine: plan %s/f32: %w", t, err)
+		}
+		if spec.cfg64, err = core.Plan(&slice, m, k, n, 8); err != nil {
+			return nil, fmt.Errorf("engine: plan %s/f64: %w", t, err)
+		}
+		e.tiers[t] = spec
+	}
+	e.panelSlots = opts.LargePanelSlots
+
+	e.pool = pool.New(pl.Cores)
+	obs.PublishEngine(name, e.Counters)
+	return e, nil
+}
+
+// tierPlanShape picks the representative problem each tier's config is
+// planned for: tiny never plans (direct path), small uses the largest shape
+// that still passes the tier's cache test, large uses a deep canonical
+// square so KC and α settle at their asymptotic values.
+func tierPlanShape(t Tier, pl *platform.Platform) (m, k, n int) {
+	switch t {
+	case TierSmall:
+		// m=n=k=s with footprint (1+2·2)·s²·elem ≤ LLC → s = sqrt(LLC/(5·4)).
+		s := 32
+		for s*s*20 < int(pl.LLCBytes) {
+			s += 16
+		}
+		return s, s, s
+	default:
+		return 4096, 4096, 4096
+	}
+}
+
+// TierFor classifies a problem by its cache footprint in bytes-per-element
+// terms: tiny when all three operands fit in L1 together, small when the
+// §4.3 LRU working set C + 2(A+B) fits the LLC, large otherwise.
+func (e *Engine) TierFor(m, k, n, elemBytes int) Tier {
+	a := int64(m) * int64(k) * int64(elemBytes)
+	b := int64(k) * int64(n) * int64(elemBytes)
+	c := int64(m) * int64(n) * int64(elemBytes)
+	if a+b+c <= e.pl.L1Bytes {
+		return TierTiny
+	}
+	if c+2*(a+b) <= e.pl.LLCBytes {
+		return TierSmall
+	}
+	return TierLarge
+}
+
+// TierConfig exposes the CAKE config a tier's leased executors run with —
+// oracle tests replay the same config on a sequential executor to check the
+// engine bit-exactly. The tiny tier has no config (direct path); it returns
+// the small tier's.
+func (e *Engine) TierConfig(t Tier, elemBytes int) core.Config {
+	if t == TierTiny {
+		t = TierSmall
+	}
+	if elemBytes == 8 {
+		return e.tiers[t].cfg64
+	}
+	return e.tiers[t].cfg32
+}
+
+// TierCores returns the §4.3 core slice a tier's requests are admitted with.
+func (e *Engine) TierCores(t Tier) int { return e.tiers[t].cores }
+
+// Counters snapshots the engine's serving counters.
+func (e *Engine) Counters() obs.EngineStats {
+	return obs.EngineStats{
+		InFlight:    e.inFlight.Load(),
+		Queued:      e.queued.Load(),
+		QueuedTotal: e.queuedTotal.Load(),
+		Rejected:    e.rejected.Load(),
+		TierTiny:    e.tierHits[TierTiny].Load(),
+		TierSmall:   e.tierHits[TierSmall].Load(),
+		TierLarge:   e.tierHits[TierLarge].Load(),
+		LeaseNew:    e.leaseNew.Load(),
+		LeaseReused: e.leaseReused.Load(),
+	}
+}
+
+// acquire admits a request demanding n cores: immediate when the cores are
+// free and nobody is queued ahead (FIFO — no starvation of wide requests by
+// narrow ones), otherwise the caller waits its turn.
+func (e *Engine) acquire(n int) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	if len(e.waiters) == 0 && e.free >= n {
+		e.free -= n
+		e.mu.Unlock()
+		return nil
+	}
+	if e.maxQueue > 0 && len(e.waiters) >= e.maxQueue {
+		e.mu.Unlock()
+		e.rejected.Add(1)
+		return ErrSaturated
+	}
+	w := &waiter{cores: n, ready: make(chan struct{})}
+	e.waiters = append(e.waiters, w)
+	e.queued.Store(int64(len(e.waiters)))
+	e.queuedTotal.Add(1)
+	e.mu.Unlock()
+	<-w.ready
+	return w.err
+}
+
+// release returns n cores and grants queued waiters in FIFO order while
+// they fit. Granting stops at the first waiter that does not fit, which is
+// what keeps wide (large-tier) requests from starving behind a stream of
+// narrow ones.
+func (e *Engine) release(n int) {
+	e.mu.Lock()
+	e.free += n
+	var grant []*waiter
+	for len(e.waiters) > 0 && e.free >= e.waiters[0].cores {
+		w := e.waiters[0]
+		e.waiters = e.waiters[1:]
+		e.free -= w.cores
+		grant = append(grant, w)
+	}
+	e.queued.Store(int64(len(e.waiters)))
+	e.mu.Unlock()
+	for _, w := range grant {
+		close(w.ready)
+	}
+}
+
+// Close drains admission: queued waiters fail with ErrClosed, the shared
+// pool shuts down. In-flight calls finish normally.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.closedFast.Store(true)
+	ws := e.waiters
+	e.waiters = nil
+	e.queued.Store(0)
+	e.mu.Unlock()
+	for _, w := range ws {
+		w.err = ErrClosed
+		close(w.ready)
+	}
+	e.pool.Close()
+}
+
+// cachesOf selects the engine's lease caches for the scalar type.
+func cachesOf[T matrix.Scalar](e *Engine) *typedCaches[T] {
+	var zero T
+	if _, ok := any(zero).(float32); ok {
+		return any(&e.f32).(*typedCaches[T])
+	}
+	return any(&e.f64).(*typedCaches[T])
+}
+
+// leaseExecutor takes a tier executor from the cache or builds one on the
+// engine's shared pool (so leased executors own no goroutines and cold
+// cache entries can be dropped by the GC without leaking workers).
+func leaseExecutor[T matrix.Scalar](e *Engine, t Tier) (*core.Executor[T], error) {
+	tc := cachesOf[T](e)
+	if v := tc.execs[t].Get(); v != nil {
+		e.leaseReused.Add(1)
+		return v.(*core.Executor[T]), nil
+	}
+	e.leaseNew.Add(1)
+	cfg := e.TierConfig(t, int(unsafe.Sizeof(*new(T))))
+	var opts []core.Option
+	if t == TierLarge && e.panelSlots > 0 {
+		opts = append(opts, core.WithPanelCache(e.panelSlots))
+	}
+	return core.NewExecutor[T](cfg, e.pool, opts...)
+}
+
+// Gemm computes C += A×B through the engine.
+func Gemm[T matrix.Scalar](e *Engine, c, a, b *matrix.Matrix[T]) (core.Stats, error) {
+	return GemmScaled(e, c, a, b, false, false, 1, 1)
+}
+
+// GemmT computes C += op(A)×op(B) with per-operand transposes.
+func GemmT[T matrix.Scalar](e *Engine, c, a, b *matrix.Matrix[T], transA, transB bool) (core.Stats, error) {
+	return GemmScaled(e, c, a, b, transA, transB, 1, 1)
+}
+
+// GemmScaled is the engine's full entry point: classify the problem, admit
+// it against the core partition, run it down its tier's path on leased
+// state. Safe for any number of concurrent callers.
+func GemmScaled[T matrix.Scalar](e *Engine, c, a, b *matrix.Matrix[T], transA, transB bool, alpha, beta T) (core.Stats, error) {
+	m, k := a.Rows, a.Cols
+	if transA {
+		m, k = k, m
+	}
+	kb, n := b.Rows, b.Cols
+	if transB {
+		kb, n = n, kb
+	}
+	if k != kb || c.Rows != m || c.Cols != n {
+		return core.Stats{}, fmt.Errorf("engine: invalid GEMM dims C[%dx%d] = op(A)[%dx%d] x op(B)[%dx%d]",
+			c.Rows, c.Cols, m, k, kb, n)
+	}
+	elemBytes := int(unsafe.Sizeof(*new(T)))
+	t := e.TierFor(m, k, n, elemBytes)
+	e.tierHits[t].Add(1)
+
+	if t == TierTiny {
+		// The direct path runs on the calling goroutine and never touches
+		// the shared worker pool, so it holds no core slice and skips
+		// admission entirely — queueing a few microseconds of register-tile
+		// work behind multi-millisecond CB runs would defeat the tier.
+		if e.closedFast.Load() {
+			return core.Stats{}, ErrClosed
+		}
+		e.inFlight.Add(1)
+		defer e.inFlight.Add(-1)
+		tc := cachesOf[T](e)
+		var d *DirectScratch[T]
+		if v := tc.direct.Get(); v != nil {
+			e.leaseReused.Add(1)
+			d = v.(*DirectScratch[T])
+		} else {
+			e.leaseNew.Add(1)
+			d = NewDirectScratch[T](8, 8)
+		}
+		st, err := d.GemmScaled(c, a, b, transA, transB, alpha, beta)
+		if err != nil {
+			return st, err
+		}
+		tc.direct.Put(d)
+		elem := int64(elemBytes)
+		obs.AccountGemm("cake", st.Blocks,
+			(st.PackedAElems+st.PackedBElems)*elem, 0,
+			st.PackNanos, st.ComputeNanos, 0)
+		return st, nil
+	}
+
+	if err := e.acquire(e.tiers[t].cores); err != nil {
+		return core.Stats{}, err
+	}
+	e.inFlight.Add(1)
+	defer func() {
+		e.inFlight.Add(-1)
+		e.release(e.tiers[t].cores)
+	}()
+
+	ex, err := leaseExecutor[T](e, t)
+	if err != nil {
+		return core.Stats{}, err
+	}
+	st, err := ex.GemmScaled(c, a, b, transA, transB, alpha, beta)
+	if err != nil {
+		// Drop the executor rather than cache state of unknown integrity.
+		ex.Close()
+		return st, err
+	}
+	cachesOf[T](e).execs[t].Put(ex)
+	return st, nil
+}

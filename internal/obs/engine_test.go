@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"expvar"
+	"strings"
+	"testing"
+)
+
+func TestPublishEngineExpvarAndReplace(t *testing.T) {
+	calls := 0
+	PublishEngine("test-engine", func() EngineStats {
+		calls++
+		return EngineStats{InFlight: 3, TierTiny: 7}
+	})
+	v := expvar.Get("cake_engine")
+	if v == nil {
+		t.Fatal("cake_engine expvar not published")
+	}
+	s := v.String()
+	if !strings.Contains(s, "test-engine") || !strings.Contains(s, "\"TierTiny\":7") {
+		t.Fatalf("cake_engine JSON missing fields: %s", s)
+	}
+	if calls == 0 {
+		t.Fatal("stats callback never ran")
+	}
+
+	// Re-publishing the same name must swap the callback, not panic on a
+	// duplicate expvar and not keep serving the stale closure.
+	PublishEngine("test-engine", func() EngineStats { return EngineStats{InFlight: 9} })
+	if s := expvar.Get("cake_engine").String(); !strings.Contains(s, "\"InFlight\":9") {
+		t.Fatalf("replaced callback not visible: %s", s)
+	}
+}
+
+func TestWritePrometheusEngineFamilies(t *testing.T) {
+	PublishEngine("prom-engine", func() EngineStats {
+		return EngineStats{
+			InFlight: 1, Queued: 2, QueuedTotal: 30, Rejected: 4,
+			TierTiny: 100, TierSmall: 50, TierLarge: 5,
+			LeaseNew: 6, LeaseReused: 60,
+		}
+	})
+	var b strings.Builder
+	writeEnginePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE cake_engine_in_flight gauge",
+		`cake_engine_in_flight{engine="prom-engine"} 1`,
+		`cake_engine_queue_depth{engine="prom-engine"} 2`,
+		"# TYPE cake_engine_queued_total counter",
+		`cake_engine_queued_total{engine="prom-engine"} 30`,
+		`cake_engine_rejected_total{engine="prom-engine"} 4`,
+		`cake_engine_tier_hits_total{engine="prom-engine",tier="tiny"} 100`,
+		`cake_engine_tier_hits_total{engine="prom-engine",tier="small"} 50`,
+		`cake_engine_tier_hits_total{engine="prom-engine",tier="large"} 5`,
+		`cake_engine_leases_total{engine="prom-engine",kind="new"} 6`,
+		`cake_engine_leases_total{engine="prom-engine",kind="reused"} 60`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -173,4 +173,6 @@ func WritePrometheus(w io.Writer) {
 			fmt.Fprintf(w, "%s_count{executor=%q,phase=%q} %d\n", histFamily, name, ph.phase, total)
 		}
 	}
+
+	writeEnginePrometheus(w)
 }

@@ -1,0 +1,47 @@
+package platform
+
+import "testing"
+
+func TestDetectHostPlausible(t *testing.T) {
+	h := DetectHost(2)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Cores != 2 || h.LLCBytes < 1<<10 {
+		t.Fatalf("implausible host: %+v", h)
+	}
+}
+
+func TestEnvFloat(t *testing.T) {
+	if _, ok := EnvFloat("CAKE_TEST_UNSET_VAR_PLATFORM"); ok {
+		t.Fatal("unset var accepted")
+	}
+	t.Setenv("CAKE_TEST_VAR_PLATFORM", " 2.5 ")
+	if v, ok := EnvFloat("CAKE_TEST_VAR_PLATFORM"); !ok || v != 2.5 {
+		t.Fatalf("EnvFloat = %g,%v", v, ok)
+	}
+	t.Setenv("CAKE_TEST_VAR_PLATFORM", "-1")
+	if _, ok := EnvFloat("CAKE_TEST_VAR_PLATFORM"); ok {
+		t.Fatal("non-positive value accepted")
+	}
+}
+
+func TestParseCacheSize(t *testing.T) {
+	cases := map[string]int64{
+		"32K":  32 << 10,
+		"8M":   8 << 20,
+		"1G":   1 << 30,
+		"4096": 4096,
+	}
+	for in, want := range cases {
+		got, ok := parseCacheSize(in)
+		if !ok || got != want {
+			t.Fatalf("parseCacheSize(%q) = %d,%v want %d", in, got, ok, want)
+		}
+	}
+	for _, bad := range []string{"", "K", "-4K", "x"} {
+		if _, ok := parseCacheSize(bad); ok {
+			t.Fatalf("parseCacheSize(%q) accepted", bad)
+		}
+	}
+}

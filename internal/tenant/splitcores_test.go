@@ -1,0 +1,73 @@
+package tenant
+
+import "testing"
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+func TestSplitCoresProportional(t *testing.T) {
+	got := SplitCores(8, []float64{3, 1})
+	if got[0] != 6 || got[1] != 2 {
+		t.Fatalf("3:1 over 8 cores = %v, want [6 2]", got)
+	}
+	if sum(got) != 8 {
+		t.Fatalf("sum %d != 8", sum(got))
+	}
+}
+
+func TestSplitCoresFloorOfOne(t *testing.T) {
+	got := SplitCores(8, []float64{1e9, 1})
+	if got[1] < 1 {
+		t.Fatalf("tiny class got %d cores, floor is 1", got[1])
+	}
+	if sum(got) != 8 {
+		t.Fatalf("sum %d != 8 (%v)", sum(got), got)
+	}
+}
+
+func TestSplitCoresMoreClassesThanCores(t *testing.T) {
+	// Floors alone exceed the machine: each class still reports a demand of
+	// ≥1 core (the caller clamps at admission time), so the sum exceeds total.
+	got := SplitCores(2, []float64{1, 1, 1, 1})
+	for i, c := range got {
+		if c != 1 {
+			t.Fatalf("class %d got %d cores, want floor of 1 (%v)", i, c, got)
+		}
+	}
+}
+
+func TestSplitCoresZeroWeightsEqualShares(t *testing.T) {
+	got := SplitCores(6, []float64{0, 0, 0})
+	for i, c := range got {
+		if c != 2 {
+			t.Fatalf("class %d got %d cores, want 2 (%v)", i, c, got)
+		}
+	}
+}
+
+func TestSplitCoresMixedZeroAndPositive(t *testing.T) {
+	// A zero weight counts as one equal share of the *uniform* unit, not of
+	// the positive mass: volume must include the substituted shares.
+	got := SplitCores(6, []float64{4, 0, 0})
+	if sum(got) != 6 {
+		t.Fatalf("sum %d != 6 (%v)", sum(got), got)
+	}
+	if got[0] < got[1] || got[0] < got[2] {
+		t.Fatalf("heaviest class not largest: %v", got)
+	}
+	if got[1] < 1 || got[2] < 1 {
+		t.Fatalf("zero-weight classes below floor: %v", got)
+	}
+}
+
+func TestSplitCoresSingleClassTakesAll(t *testing.T) {
+	got := SplitCores(16, []float64{7.5})
+	if len(got) != 1 || got[0] != 16 {
+		t.Fatalf("single class = %v, want [16]", got)
+	}
+}

@@ -103,14 +103,36 @@ func PlanTenants(pl *platform.Platform, jobs []Job) (Plan, error) {
 
 // splitProportional allocates total cores to jobs ∝ MACs with a floor of 1.
 func splitProportional(total int, jobs []Job) []int {
-	var volume float64
-	for _, j := range jobs {
-		volume += j.MACs()
-	}
-	out := make([]int, len(jobs))
-	used := 0
+	w := make([]float64, len(jobs))
 	for i, j := range jobs {
-		c := int(float64(total) * j.MACs() / volume)
+		w[i] = j.MACs()
+	}
+	return SplitCores(total, w)
+}
+
+// SplitCores partitions total cores across concurrent request classes
+// proportionally to their weights, with a floor of one core per class. This
+// is the §4.3 core partition in its rawest form: p cores serving q tenants,
+// each slice sized to its share of the work, so every slice runs CAKE at its
+// own constant bandwidth. When the floors alone exceed total (more classes
+// than cores) the result intentionally sums above total — callers treat the
+// entries as per-request demands, not a simultaneous static layout, and
+// clamp to the machine. Non-positive weights count as equal shares.
+func SplitCores(total int, weights []float64) []int {
+	share := func(i int) float64 {
+		if weights[i] > 0 {
+			return weights[i]
+		}
+		return 1
+	}
+	var volume float64
+	for i := range weights {
+		volume += share(i)
+	}
+	out := make([]int, len(weights))
+	used := 0
+	for i := range weights {
+		c := int(float64(total) * share(i) / volume)
 		if c < 1 {
 			c = 1
 		}
@@ -133,8 +155,8 @@ func splitProportional(total int, jobs []Job) []int {
 	}
 	for used < total {
 		maxI := 0
-		for i, j := range jobs {
-			if j.MACs()/float64(out[i]) > jobs[maxI].MACs()/float64(out[maxI]) {
+		for i := range weights {
+			if share(i)/float64(out[i]) > share(maxI)/float64(out[maxI]) {
 				maxI = i
 			}
 		}

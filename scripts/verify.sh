@@ -16,6 +16,9 @@ go test ./...
 echo "== go test -race ./internal/pool ./internal/core ./internal/obs"
 go test -race ./internal/pool ./internal/core ./internal/obs
 
+echo "== go test -race ./internal/engine ./internal/tenant"
+go test -race ./internal/engine ./internal/tenant
+
 # Deterministic self-check of the benchmark regression gate: the committed
 # baseline compared against itself must always pass. Catches artifact-format
 # drift without benchmarking the (noisy) CI host.
