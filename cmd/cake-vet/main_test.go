@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListIncludesSuite(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, name := range []string{"atomicfield", "hotpathalloc", "leasebalance", "spanbytes"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-checks", "nope"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2 (stderr: %s)", code, errb.String())
+	}
+}
+
+// TestSeededFixtureFails drives the binary end-to-end over a testdata
+// package with known violations and requires the go-vet exit contract:
+// diagnostics on stdout, exit code 1.
+func TestSeededFixtureFails(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-checks", "spanbytes", "../../internal/analysis/testdata/src/spanbytes"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "does not set Bytes") {
+		t.Errorf("diagnostics missing from stdout:\n%s", out.String())
+	}
+}

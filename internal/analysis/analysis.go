@@ -1,0 +1,193 @@
+// Package analysis is cake-vet: a suite of static analyzers that
+// mechanically enforce the repo's concurrency and hot-path invariants. The
+// codebase carries real concurrency surface — lock-free span rings in
+// internal/obs, single-flight executors behind an atomic guard in
+// internal/core, sync.Pool executor leasing in internal/engine — and
+// hot-path kernels whose performance story (the paper's §4.4 byte
+// attribution and the constant-bandwidth claim) silently breaks if an
+// allocation, defer or plain read of an atomic field sneaks into a loop.
+// These invariants used to live in code review; this package turns each one
+// into a re-runnable check (GEMMbench's argument: reproducible GEMM work
+// needs mechanical verification, not one-off diligence).
+//
+// The framework mirrors golang.org/x/tools/go/analysis — Analyzer, Pass,
+// Reportf — but is self-contained on the standard library (go/ast, go/types,
+// go/importer): the build environment is hermetic, so the suite cannot
+// depend on fetched modules. Packages are loaded via `go list -export`
+// (see load.go) and each analyzer receives fully type-checked syntax.
+//
+// Analyzers (see DESIGN §9 for the invariants' rationale):
+//
+//   - atomicfield: a struct field accessed through sync/atomic anywhere must
+//     never be read or written plainly, and sync/atomic value types
+//     (atomic.Int64 & friends) must never be copied.
+//   - hotpathalloc: functions annotated //cake:hotpath must not allocate
+//     (make/new/append/composite literals/closures), defer, spawn
+//     goroutines, convert to interfaces, or concatenate strings.
+//   - leasebalance: a resource obtained from a sync.Pool or a //cake:lease
+//     function must be released (Put/Close/Release) or ownership-transferred
+//     on every control-flow path, with a deferred release when the resource
+//     does work that could panic.
+//   - spanbytes: every obs.Span composite literal must set Bytes explicitly,
+//     so the §4.4 DRAM-traffic attribution is always a decision, never an
+//     omission.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a violation at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Suite returns every cake-vet analyzer, in reporting order.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		AtomicField,
+		HotPathAlloc,
+		LeaseBalance,
+		SpanBytes,
+	}
+}
+
+// ByName returns the named analyzer from Suite, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Suite() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Check runs the analyzers over the loaded packages and returns every
+// diagnostic, sorted by file position.
+func Check(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return diags, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// hasDirective reports whether the comment group carries the //cake:<name>
+// directive. Directives follow the standard Go directive shape: no space
+// after //, the directive alone on its line.
+func hasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	want := "//cake:" + name
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == want || strings.HasPrefix(text, want+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgFuncCall reports whether call invokes pkgPath.name (a package-level
+// function accessed through an import), returning true and the resolved
+// object name on match.
+func pkgFuncCall(info *types.Info, call *ast.CallExpr, pkgPath string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+		return "", false
+	}
+	if _, ok := obj.(*types.Func); !ok {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// namedFrom unwraps ptr/alias sugar and returns the named type and whether
+// it is declared in pkgPath with the given name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	t = unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = unalias(p.Elem())
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+func unalias(t types.Type) types.Type {
+	if a, ok := t.(*types.Alias); ok {
+		return types.Unalias(a)
+	}
+	return t
+}

@@ -1,0 +1,259 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicField enforces the obs-ring / engine-counter memory-model
+// invariant: once any access to a struct field goes through sync/atomic,
+// every access must. A single plain load of a ring cursor or a serving
+// counter is a data race that -race only catches when the interleaving
+// happens to fire; this check makes the mixed-access pattern unrepresentable.
+//
+// Two rules:
+//
+//  1. A field whose address is ever passed to a sync/atomic function
+//     (atomic.AddInt64(&s.n, 1), atomic.LoadUint32(&s.flags), ...) must not
+//     appear outside such calls — no plain reads, writes, or address takes.
+//  2. Values of the sync/atomic struct types (atomic.Int64, atomic.Bool,
+//     atomic.Pointer[T], ...) must never be copied: assignment, function
+//     arguments, returns, composite-literal elements and range clauses all
+//     smuggle the current value out from under concurrent writers (and `go
+//     vet -copylocks` only catches the ones that embed a mutex).
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "flags plain accesses to struct fields that are elsewhere accessed via sync/atomic, and copies of sync/atomic value types",
+	Run:  runAtomicField,
+}
+
+const atomicPkg = "sync/atomic"
+
+// atomicAddrFuncs are the sync/atomic package-level functions whose first
+// argument is the address of the atomically-accessed word.
+func isAtomicAddrFunc(name string) bool {
+	for _, prefix := range []string{"Add", "And", "CompareAndSwap", "Load", "Or", "Store", "Swap"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func runAtomicField(pass *Pass) error {
+	// Pass 1: collect fields passed by address to sync/atomic functions,
+	// and remember the exact selector nodes inside those calls (blessed).
+	atomicFields := map[*types.Var]token.Pos{} // field -> first atomic use
+	blessed := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			name, ok := pkgFuncCall(pass.Info, call, atomicPkg)
+			if !ok || !isAtomicAddrFunc(name) {
+				return true
+			}
+			unary, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || unary.Op != token.AND {
+				return true
+			}
+			sel, ok := unary.X.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if fld := fieldOf(pass.Info, sel); fld != nil {
+				if _, seen := atomicFields[fld]; !seen {
+					atomicFields[fld] = sel.Pos()
+				}
+				blessed[sel] = true
+			}
+			return true
+		})
+	}
+
+	// Pass 2: any unblessed selector resolving to an atomic field is a
+	// plain access.
+	if len(atomicFields) > 0 {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || blessed[sel] {
+					return true
+				}
+				fld := fieldOf(pass.Info, sel)
+				if fld == nil {
+					return true
+				}
+				if _, isAtomic := atomicFields[fld]; isAtomic {
+					pass.Reportf(sel.Pos(),
+						"plain access to field %s.%s, which is accessed via sync/atomic elsewhere in this package; use sync/atomic for every access (or an atomic.%s-style typed field)",
+						fieldOwner(fld), fld.Name(), suggestTyped(fld.Type()))
+				}
+				return true
+			})
+		}
+	}
+
+	// Rule 2: copies of sync/atomic value types.
+	for _, f := range pass.Files {
+		checkAtomicCopies(pass, f)
+	}
+	return nil
+}
+
+// fieldOf resolves sel to a struct field, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// fieldOwner names the struct type a field belongs to, best-effort, for
+// diagnostics.
+func fieldOwner(fld *types.Var) string {
+	if fld.Pkg() != nil {
+		return fld.Pkg().Name()
+	}
+	return "?"
+}
+
+// suggestTyped maps a word type to the matching sync/atomic typed wrapper
+// for the diagnostic's suggestion.
+func suggestTyped(t types.Type) string {
+	if b, ok := unalias(t).(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int32:
+			return "Int32"
+		case types.Int64:
+			return "Int64"
+		case types.Uint32:
+			return "Uint32"
+		case types.Uint64:
+			return "Uint64"
+		case types.Uintptr:
+			return "Uintptr"
+		}
+	}
+	return "Value"
+}
+
+// isAtomicValueType reports whether t is one of sync/atomic's struct types
+// (Int64, Bool, Pointer[T], Value, ...), whose values must not be copied.
+func isAtomicValueType(t types.Type) bool {
+	n, ok := unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != atomicPkg {
+		return false
+	}
+	// Every exported struct type in sync/atomic is a no-copy atomic box.
+	_, isStruct := unalias(n.Underlying()).(*types.Struct)
+	return isStruct
+}
+
+// checkAtomicCopies flags expressions that copy an atomic box by value.
+func checkAtomicCopies(pass *Pass, f *ast.File) {
+	flag := func(e ast.Expr, how string) {
+		if e == nil {
+			return
+		}
+		tv, ok := pass.Info.Types[e]
+		if !ok || !isAtomicValueType(tv.Type) {
+			return
+		}
+		// Composite literals of the atomic type itself (atomic.Int64{}) are
+		// initialisations, not copies.
+		if _, isLit := e.(*ast.CompositeLit); isLit {
+			return
+		}
+		pass.Reportf(e.Pos(), "%s copies %s; atomic values must not be copied after first use",
+			how, tv.Type.String())
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				flag(rhs, "assignment")
+			}
+		case *ast.ValueSpec:
+			for _, v := range n.Values {
+				flag(v, "assignment")
+			}
+		case *ast.CallExpr:
+			// Method calls on an atomic box ((&x.n).Add via auto-address) are
+			// the intended use; only direct value arguments copy.
+			for _, arg := range n.Args {
+				flag(arg, "call argument")
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				flag(r, "return")
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					flag(kv.Value, "composite literal")
+				} else {
+					flag(elt, "composite literal")
+				}
+			}
+		case *ast.RangeStmt:
+			// `for _, l := range lanes` copies each element when the element
+			// type is (or contains) an atomic box. A `:=` range value is a
+			// definition, so its type comes from Defs rather than Types.
+			if t := exprOrDefType(pass.Info, n.Value); t != nil && containsAtomicValue(t) {
+				pass.Reportf(n.Value.Pos(),
+					"range value copies %s, which contains an atomic value; range over indices instead",
+					t.String())
+			}
+		}
+		return true
+	})
+}
+
+// exprOrDefType resolves an expression's type, falling back to the object a
+// defining identifier binds (range clauses, short declarations).
+func exprOrDefType(info *types.Info, e ast.Expr) types.Type {
+	if e == nil {
+		return nil
+	}
+	if tv, ok := info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// containsAtomicValue reports whether t is, or directly embeds, an atomic
+// box (one struct level deep — enough for lane/job-style carrier structs).
+func containsAtomicValue(t types.Type) bool {
+	if isAtomicValueType(t) {
+		return true
+	}
+	st, ok := unalias(t.Underlying()).(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isAtomicValueType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Fixture testing in the analysistest style, self-contained on the
+// standard library: a fixture package under testdata/src/<analyzer> mixes
+// violating and conforming code, and every line expected to trip the
+// analyzer carries a trailing
+//
+//	// want "regexp"
+//
+// comment. RunFixture loads the package (testdata directories are invisible
+// to ./... patterns but loadable as explicit directories, so `go vet` and
+// the build never see the seeded violations), runs the analyzer, and
+// reports both missed expectations and unexpected diagnostics.
+
+// expectation is one `// want` annotation.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("//\\s*want\\s+(\".*\"|`[^`]*`)\\s*$")
+
+// FixtureDiff loads the fixture package rooted at dir, runs the analyzer,
+// and returns a list of human-readable mismatches (empty means the fixture
+// behaves exactly as annotated).
+func FixtureDiff(a *Analyzer, dir string) ([]string, error) {
+	pkgs, err := Load(dir, ".")
+	if err != nil {
+		return nil, fmt.Errorf("load fixture %s: %w", dir, err)
+	}
+	var expects []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			exp, err := collectWants(pkg.Fset, f)
+			if err != nil {
+				return nil, err
+			}
+			expects = append(expects, exp...)
+		}
+	}
+	diags, err := Check(pkgs, []*Analyzer{a})
+	if err != nil {
+		return nil, err
+	}
+
+	var problems []string
+	for _, d := range diags {
+		matched := false
+		for _, e := range expects {
+			if e.matched || e.line != d.Pos.Line || filepath.Base(e.file) != filepath.Base(d.Pos.Filename) {
+				continue
+			}
+			if e.pattern.MatchString(d.Message) {
+				e.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matching %q",
+				filepath.Base(e.file), e.line, e.pattern))
+		}
+	}
+	return problems, nil
+}
+
+// collectWants extracts `// want "re"` annotations from a parsed file.
+func collectWants(fset *token.FileSet, f *ast.File) ([]*expectation, error) {
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pat, err := strconv.Unquote(m[1])
+			if err != nil {
+				return nil, fmt.Errorf("bad want pattern %s: %w", m[1], err)
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				return nil, fmt.Errorf("bad want regexp %q: %w", pat, err)
+			}
+			pos := fset.Position(c.Pos())
+			out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+		}
+	}
+	return out, nil
+}
+
+// FixtureDir resolves the conventional fixture directory for an analyzer
+// name relative to this package's testdata tree.
+func FixtureDir(name string) string {
+	return filepath.Join("testdata", "src", strings.TrimSpace(name))
+}

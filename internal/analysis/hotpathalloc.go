@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPathAlloc enforces the allocation-free contract of the compute hot
+// path. The paper's measurements (§4.4 byte attribution, constant-bandwidth
+// CoV) assume the kernels and packing loops move exactly the bytes the model
+// predicts; a make, append, closure, defer, interface conversion or string
+// concatenation inside one of those loops adds GC traffic and scheduler
+// work that the model never sees. Functions opt in with a //cake:hotpath
+// doc-comment directive, so the enforced set is self-documenting — the
+// microkernels in internal/kernel and the pack loops in internal/packing
+// all carry it.
+//
+// Inside an annotated function the analyzer flags:
+//
+//   - make, new, append (heap allocation / growth)
+//   - slice, map and &T{} composite literals (heap allocation)
+//   - function literals (closure allocation)
+//   - defer (per-call bookkeeping) and go (scheduler work)
+//   - implicit or explicit conversion of a concrete value to an interface
+//     (boxing allocates and indirects the following call)
+//   - string concatenation (allocates the result)
+//
+// Arguments of a terminal panic(...) call are exempt: the guard-clause
+// panics that protect the packing layout contract execute at most once, on
+// the way out, and their fmt.Sprintf is the idiomatic way to die loudly.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "forbids allocation, defer, goroutines, interface conversion and string concatenation in //cake:hotpath functions",
+	Run:  runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasDirective(fn.Doc, "hotpath") {
+				continue
+			}
+			checkHotFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isPanicCall(pass.Info, n) {
+				// Terminal guard: do not descend into the panic's arguments.
+				return false
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					switch b.Name() {
+					case "make", "new", "append":
+						pass.Reportf(n.Pos(), "%s in hot path %s allocates; preallocate in the caller or scratch state", b.Name(), name)
+					}
+				}
+			}
+			checkCallBoxing(pass, n, name)
+		case *ast.CompositeLit:
+			tv, ok := pass.Info.Types[n]
+			if ok {
+				switch unalias(tv.Type.Underlying()).(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(n.Pos(), "composite literal of %s in hot path %s allocates", tv.Type.String(), name)
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, isLit := n.X.(*ast.CompositeLit); isLit {
+					pass.Reportf(n.Pos(), "&composite literal in hot path %s allocates", name)
+				}
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "function literal in hot path %s allocates a closure", name)
+			return false
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "defer in hot path %s adds per-call bookkeeping; restructure so cleanup is straight-line", name)
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement in hot path %s; hot functions must not spawn goroutines", name)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(pass.Info, n.X) {
+				pass.Reportf(n.Pos(), "string concatenation in hot path %s allocates", name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(pass.Info, n.Lhs[0]) {
+				pass.Reportf(n.Pos(), "string concatenation in hot path %s allocates", name)
+			}
+			checkAssignBoxing(pass, n, name)
+		}
+		return true
+	}
+	ast.Inspect(fn.Body, walk)
+}
+
+func isPanicCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+func isStringType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := unalias(tv.Type.Underlying()).(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// checkCallBoxing flags arguments whose concrete value is implicitly
+// converted to an interface parameter — the boxing allocation fmt-style
+// variadics hide.
+func checkCallBoxing(pass *Pass, call *ast.CallExpr, hot string) {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	// Explicit conversion T(x): flag when T is an interface and x concrete.
+	if tv.IsType() {
+		if isIface(tv.Type) && len(call.Args) == 1 && !isInterfaceExpr(pass.Info, call.Args[0]) {
+			pass.Reportf(call.Pos(), "conversion to interface %s in hot path %s boxes its operand", tv.Type.String(), hot)
+		}
+		return
+	}
+	sig, ok := unalias(tv.Type).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // passing a slice through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if isIface(pt) && !isInterfaceExpr(pass.Info, arg) && !isNilExpr(pass.Info, arg) {
+			pass.Reportf(arg.Pos(), "argument boxes %s into interface %s in hot path %s",
+				exprTypeString(pass.Info, arg), pt.String(), hot)
+		}
+	}
+}
+
+// checkAssignBoxing flags assignments of a concrete value into an
+// interface-typed variable inside a hot function.
+func checkAssignBoxing(pass *Pass, n *ast.AssignStmt, hot string) {
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i := range n.Lhs {
+		lt, ok := pass.Info.Types[n.Lhs[i]]
+		if !ok || lt.Type == nil || !isIface(lt.Type) {
+			continue
+		}
+		if !isInterfaceExpr(pass.Info, n.Rhs[i]) && !isNilExpr(pass.Info, n.Rhs[i]) {
+			pass.Reportf(n.Rhs[i].Pos(), "assignment boxes %s into interface %s in hot path %s",
+				exprTypeString(pass.Info, n.Rhs[i]), lt.Type.String(), hot)
+		}
+	}
+}
+
+func isInterfaceExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return true // unknown: stay quiet
+	}
+	return isIface(tv.Type)
+}
+
+// isIface reports whether t is a plain interface type. Type parameters are
+// excluded: passing a T into a T-typed parameter is not boxing, even though
+// a type parameter's underlying type is its constraint interface.
+func isIface(t types.Type) bool {
+	if _, isTP := unalias(t).(*types.TypeParam); isTP {
+		return false
+	}
+	return types.IsInterface(t)
+}
+
+func isNilExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}
+
+func exprTypeString(info *types.Info, e ast.Expr) string {
+	if tv, ok := info.Types[e]; ok && tv.Type != nil {
+		return tv.Type.String()
+	}
+	return "value"
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SpanBytes guards the paper's §4.4 byte attribution. Every obs.Span a
+// producer emits carries Bytes — the DRAM traffic the span moved (zero for
+// cache-resident compute, the avoided traffic for reuse events) — and the
+// conformance layer compares the summed attribution against the cbtheory
+// predictors. Go zero-initialises omitted struct fields, so a new emit site
+// that forgets Bytes compiles cleanly and silently under-reports traffic:
+// the timeline still renders, the conformance check quietly drifts. This
+// analyzer makes the attribution a decision instead of an omission: every
+// obs.Span composite literal in production code must mention Bytes
+// explicitly (Bytes: 0 is fine — it says "this phase moves no DRAM bytes"
+// out loud), or set every field positionally.
+var SpanBytes = &Analyzer{
+	Name: "spanbytes",
+	Doc:  "requires every obs.Span composite literal to set the §4.4 Bytes attribution field explicitly",
+	Run:  runSpanBytes,
+}
+
+func runSpanBytes(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[lit]
+			if !ok || !isSpanType(tv.Type) {
+				return true
+			}
+			if spanLitSetsBytes(lit) {
+				return true
+			}
+			pass.Reportf(lit.Pos(),
+				"obs.Span literal does not set Bytes; §4.4 byte attribution must be explicit (use Bytes: 0 for phases that move no DRAM bytes)")
+			return true
+		})
+	}
+	return nil
+}
+
+// isSpanType matches the obs package's Span type. The package path is
+// matched by suffix so the fixture package's local obs stand-in exercises
+// the same code path as the real internal/obs.
+func isSpanType(t types.Type) bool {
+	n, ok := unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Span" && obj.Pkg() != nil &&
+		(obj.Pkg().Path() == "repro/internal/obs" || strings.HasSuffix(obj.Pkg().Path(), "/obs"))
+}
+
+func spanLitSetsBytes(lit *ast.CompositeLit) bool {
+	sawKeyed := false
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		sawKeyed = true
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Bytes" {
+			return true
+		}
+	}
+	// A full positional literal sets every field, Bytes included; Span has
+	// six fields, so any positional literal that type-checks is full.
+	return !sawKeyed && len(lit.Elts) > 0
+}

@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSuiteCleanOnRepo is the regression gate behind scripts/verify.sh and
+// the CI cake-vet job: the real tree must carry zero invariant violations.
+// Anything this test reports is either a genuine regression or a new
+// exemption that belongs in DESIGN.md §9 alongside an analyzer change.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module; covered by verify.sh's cake-vet step")
+	}
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" {
+		t.Skip("not running inside the module")
+	}
+	pkgs, err := Load(filepath.Dir(gomod), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Check(pkgs, Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range Suite() {
+		if ByName(a.Name) != a {
+			t.Errorf("ByName(%q) did not return the suite analyzer", a.Name)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error(`ByName("nope") should be nil`)
+	}
+}

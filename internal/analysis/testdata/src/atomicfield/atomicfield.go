@@ -1,0 +1,59 @@
+// Package atomicfield seeds violations for the atomicfield analyzer: a
+// field accessed via sync/atomic anywhere in the package must be accessed
+// via sync/atomic everywhere, and sync/atomic values must never be copied.
+package atomicfield
+
+import "sync/atomic"
+
+type ring struct {
+	cursor int64
+	data   []int
+}
+
+func (r *ring) push(v int) {
+	i := atomic.AddInt64(&r.cursor, 1) - 1
+	r.data[i%int64(len(r.data))] = v
+}
+
+func (r *ring) badRead() int64 {
+	return r.cursor // want `plain access to field .*cursor`
+}
+
+func (r *ring) badWrite() {
+	r.cursor = 0 // want `plain access to field .*cursor`
+}
+
+func (r *ring) goodRead() int64 {
+	return atomic.LoadInt64(&r.cursor)
+}
+
+type counters struct {
+	hits atomic.Int64
+}
+
+func (c *counters) badCopy() int64 {
+	snap := c.hits // want `copies sync/atomic\.Int64`
+	return snap.Load()
+}
+
+func (c *counters) goodRead() int64 { return c.hits.Load() }
+
+type bank struct {
+	lanes []counters
+}
+
+func (b *bank) badSum() int64 {
+	var total int64
+	for _, lane := range b.lanes { // want `range value copies`
+		total += lane.hits.Load()
+	}
+	return total
+}
+
+func (b *bank) goodSum() int64 {
+	var total int64
+	for i := range b.lanes {
+		total += b.lanes[i].hits.Load()
+	}
+	return total
+}

@@ -1,0 +1,77 @@
+// Package hotpathalloc seeds violations for the hotpathalloc analyzer:
+// functions annotated //cake:hotpath must not allocate, defer, spawn
+// goroutines, box values into interfaces, or concatenate strings.
+package hotpathalloc
+
+import "fmt"
+
+//cake:hotpath
+func badMake(n int) []float64 {
+	return make([]float64, n) // want `make in hot path`
+}
+
+//cake:hotpath
+func badAppend(dst []int, v int) []int {
+	return append(dst, v) // want `append in hot path`
+}
+
+//cake:hotpath
+func badSliceLit() []int {
+	return []int{1, 2, 3} // want `composite literal`
+}
+
+//cake:hotpath
+func badClosure(xs []float64) float64 {
+	double := func(x float64) float64 { return 2 * x } // want `function literal`
+	total := 0.0
+	for _, x := range xs {
+		total += double(x)
+	}
+	return total
+}
+
+type unlocker interface{ Unlock() }
+
+//cake:hotpath
+func badDefer(mu unlocker) {
+	defer mu.Unlock() // want `defer in hot path`
+}
+
+//cake:hotpath
+func badGo(done chan struct{}) {
+	go signal(done) // want `go statement in hot path`
+}
+
+func signal(done chan struct{}) { close(done) }
+
+//cake:hotpath
+func badArgBox(v float64) {
+	fmt.Println(v) // want `boxes float64`
+}
+
+//cake:hotpath
+func badAssignBox(v float64) (out any) {
+	out = v // want `assignment boxes float64`
+	return out
+}
+
+//cake:hotpath
+func badConcat(a, b string) string {
+	return a + b // want `string concatenation`
+}
+
+// goodPanicGuard shows the exemption: a terminal panic's arguments may
+// allocate — the guard fires at most once, on the way out.
+//
+//cake:hotpath
+func goodPanicGuard(dst []float64, n int) {
+	if len(dst) < n {
+		panic(fmt.Sprintf("hotpathalloc: dst %d < %d", len(dst), n))
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = 0
+	}
+}
+
+// coldAlloc is not annotated: allocation is fine off the hot path.
+func coldAlloc(n int) []float64 { return make([]float64, n) }

@@ -1,0 +1,92 @@
+// Package leasebalance seeds violations for the leasebalance analyzer:
+// resources from a sync.Pool or a //cake:lease function must be released or
+// ownership-transferred on every control-flow path, and released in a defer
+// when work between acquisition and release may panic.
+package leasebalance
+
+import (
+	"errors"
+	"sync"
+)
+
+type scratch struct{ buf []byte }
+
+func (s *scratch) Work()  { s.buf = s.buf[:0] }
+func (s *scratch) Close() {}
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+// lease mints a leased scratch; the caller owns the release.
+//
+//cake:lease
+func lease() *scratch {
+	if v := pool.Get(); v != nil {
+		return v.(*scratch)
+	}
+	return new(scratch)
+}
+
+var errBoom = errors.New("boom")
+
+// open mints a lease with the (resource, error) shape.
+//
+//cake:lease
+func open(fail bool) (*scratch, error) {
+	if fail {
+		return nil, errBoom
+	}
+	return new(scratch), nil
+}
+
+func goodDeferred() {
+	s := lease()
+	defer pool.Put(s)
+	s.Work()
+}
+
+// goodOkFlag is the blessed shape for success/failure-asymmetric releases.
+func goodOkFlag(fail bool) error {
+	s := lease()
+	ok := false
+	defer func() {
+		if ok {
+			pool.Put(s)
+		} else {
+			s.Close()
+		}
+	}()
+	s.Work()
+	if fail {
+		return errBoom
+	}
+	ok = true
+	return nil
+}
+
+func goodTransfer() *scratch {
+	s := lease()
+	return s
+}
+
+func goodErrGuard() (*scratch, error) {
+	s, err := open(false)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func badDropped() {
+	s := lease() // want `not released or returned`
+	s.Work()
+}
+
+func badErrorPath(fail bool) error {
+	s := lease() // want `release it in a defer`
+	s.Work()
+	if fail {
+		return errBoom // want `return without releasing`
+	}
+	pool.Put(s)
+	return nil
+}

@@ -1,0 +1,27 @@
+// Package spanbytes seeds violations for the spanbytes analyzer: every
+// obs.Span composite literal must set the §4.4 Bytes attribution field
+// explicitly (Bytes: 0 is a decision; an omitted Bytes is a silent
+// under-report).
+package spanbytes
+
+import "repro/internal/obs"
+
+func goodKeyed(start, moved int64) obs.Span {
+	return obs.Span{StartNs: start, DurNs: 1, Bytes: moved, Phase: obs.PhasePack}
+}
+
+func goodExplicitZero(start int64) obs.Span {
+	return obs.Span{StartNs: start, DurNs: 1, Bytes: 0, Phase: obs.PhaseCompute}
+}
+
+func goodPositional(start int64) obs.Span {
+	return obs.Span{start, 1, 0, obs.Block{M: 1, K: 1, N: 1}, 0, obs.PhaseCompute}
+}
+
+func badMissingBytes(start int64) obs.Span {
+	return obs.Span{StartNs: start, DurNs: 1, Phase: obs.PhaseCompute} // want `does not set Bytes`
+}
+
+func badEmpty() obs.Span {
+	return obs.Span{} // want `does not set Bytes`
+}

@@ -354,7 +354,10 @@ func cachesOf[T matrix.Scalar](e *Engine) *typedCaches[T] {
 
 // leaseExecutor takes a tier executor from the cache or builds one on the
 // engine's shared pool (so leased executors own no goroutines and cold
-// cache entries can be dropped by the GC without leaking workers).
+// cache entries can be dropped by the GC without leaking workers). Callers
+// own the lease: Put it back on success, Close it on failure.
+//
+//cake:lease
 func leaseExecutor[T matrix.Scalar](e *Engine, t Tier) (*core.Executor[T], error) {
 	tc := cachesOf[T](e)
 	if v := tc.execs[t].Get(); v != nil {
@@ -419,11 +422,16 @@ func GemmScaled[T matrix.Scalar](e *Engine, c, a, b *matrix.Matrix[T], transA, t
 			e.leaseNew.Add(1)
 			d = NewDirectScratch[T](8, 8)
 		}
+		// Return the scratch on every exit, error and panic paths included:
+		// DirectScratch keeps no cross-call state (its tiles are fully
+		// overwritten on the next use), so even a failed run leaves it safe
+		// to reuse, and dropping it would forfeit the warmed buffers the
+		// lease cache exists to keep.
+		defer tc.direct.Put(d)
 		st, err := d.GemmScaled(c, a, b, transA, transB, alpha, beta)
 		if err != nil {
 			return st, err
 		}
-		tc.direct.Put(d)
 		elem := int64(elemBytes)
 		obs.AccountGemm("cake", st.Blocks,
 			(st.PackedAElems+st.PackedBElems)*elem, 0,
@@ -444,12 +452,22 @@ func GemmScaled[T matrix.Scalar](e *Engine, c, a, b *matrix.Matrix[T], transA, t
 	if err != nil {
 		return core.Stats{}, err
 	}
+	// Settle the lease in a defer so a panic inside the run (packing layout
+	// guards panic by design) cannot drop the executor: cache it after a
+	// clean run, drop it rather than cache state of unknown integrity
+	// otherwise.
+	clean := false
+	defer func() {
+		if clean {
+			cachesOf[T](e).execs[t].Put(ex)
+		} else {
+			ex.Close()
+		}
+	}()
 	st, err := ex.GemmScaled(c, a, b, transA, transB, alpha, beta)
 	if err != nil {
-		// Drop the executor rather than cache state of unknown integrity.
-		ex.Close()
 		return st, err
 	}
-	cachesOf[T](e).execs[t].Put(ex)
+	clean = true
 	return st, nil
 }

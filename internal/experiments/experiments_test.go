@@ -268,6 +268,12 @@ func TestPaperTrioSizes(t *testing.T) {
 }
 
 func TestPackingOverheadSkewedShapes(t *testing.T) {
+	if testing.Short() {
+		// Asserts relative wall-clock shares; the race detector's ~10x
+		// slowdown distorts them, so the -short race gate skips this and
+		// the plain `go test ./...` run keeps the coverage.
+		t.Skip("wall-clock-sensitive assertions")
+	}
 	rows, err := PackingOverhead(1, DefaultPackShapes())
 	if err != nil {
 		t.Fatal(err)

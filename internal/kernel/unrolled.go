@@ -8,6 +8,7 @@ import "repro/internal/matrix"
 // is the register-blocking contract the paper's Figure 5e/6e tile MM relies
 // on.
 
+//cake:hotpath
 func kernel8x8[T matrix.Scalar](kc int, a, b []T, c []T, ldc int) {
 	var c0, c1, c2, c3, c4, c5, c6, c7 [8]T
 	for k := 0; k < kc; k++ {
@@ -103,6 +104,7 @@ func kernel8x8[T matrix.Scalar](kc int, a, b []T, c []T, ldc int) {
 	}
 }
 
+//cake:hotpath
 func kernel6x8[T matrix.Scalar](kc int, a, b []T, c []T, ldc int) {
 	var c0, c1, c2, c3, c4, c5 [8]T
 	for k := 0; k < kc; k++ {
@@ -175,6 +177,7 @@ func kernel6x8[T matrix.Scalar](kc int, a, b []T, c []T, ldc int) {
 	}
 }
 
+//cake:hotpath
 func kernel4x8[T matrix.Scalar](kc int, a, b []T, c []T, ldc int) {
 	var c0, c1, c2, c3 [8]T
 	for k := 0; k < kc; k++ {
@@ -229,6 +232,7 @@ func kernel4x8[T matrix.Scalar](kc int, a, b []T, c []T, ldc int) {
 	}
 }
 
+//cake:hotpath
 func kernel4x4[T matrix.Scalar](kc int, a, b []T, c []T, ldc int) {
 	var c0, c1, c2, c3 [4]T
 	for k := 0; k < kc; k++ {
@@ -267,6 +271,7 @@ func kernel4x4[T matrix.Scalar](kc int, a, b []T, c []T, ldc int) {
 	}
 }
 
+//cake:hotpath
 func kernel8x4[T matrix.Scalar](kc int, a, b []T, c []T, ldc int) {
 	var c0, c1, c2, c3, c4, c5, c6, c7 [4]T
 	for k := 0; k < kc; k++ {

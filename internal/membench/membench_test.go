@@ -44,6 +44,13 @@ func TestScanThreads(t *testing.T) {
 }
 
 func TestScanWorkingSet(t *testing.T) {
+	if testing.Short() {
+		// Requires measurable bandwidth within a 10ms budget; under the
+		// race detector the budget can elapse before one sweep finishes,
+		// so the -short race gate skips this and the plain `go test ./...`
+		// run keeps the coverage.
+		t.Skip("wall-clock-sensitive assertions")
+	}
 	pts, err := ScanWorkingSet([]int{64 << 10, 8 << 20}, 10*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)

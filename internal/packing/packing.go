@@ -41,6 +41,8 @@ func PackedBSize(kc, c, nr int) int {
 // scale on the way through (BLAS α folded into the single packing pass —
 // scale 1 takes a multiply-free path). dst must have at least
 // PackedASize(a.Rows, a.Cols, mr) elements; the used prefix is returned.
+//
+//cake:hotpath
 func PackA[T matrix.Scalar](dst []T, a *matrix.Matrix[T], mr int, scale T) []T {
 	r, kc := a.Rows, a.Cols
 	n := PackedASize(r, kc, mr)
@@ -73,6 +75,8 @@ func PackA[T matrix.Scalar](dst []T, a *matrix.Matrix[T], mr int, scale T) []T {
 // PackB packs the dense block b (any kc×c view) into dst using nr-column
 // panels, zero-padding the final partial panel. dst must have at least
 // PackedBSize(b.Rows, b.Cols, nr) elements; the used prefix is returned.
+//
+//cake:hotpath
 func PackB[T matrix.Scalar](dst []T, b *matrix.Matrix[T], nr int) []T {
 	kc, c := b.Rows, b.Cols
 	n := PackedBSize(kc, c, nr)
@@ -100,6 +104,8 @@ func PackB[T matrix.Scalar](dst []T, b *matrix.Matrix[T], nr int) []T {
 // scaled by scale during the copy (scale 1 keeps the memmove fast path).
 // Used for GEMM with a transposed left operand — the packed form is
 // identical, so microkernels are oblivious to storage order.
+//
+//cake:hotpath
 func PackAT[T matrix.Scalar](dst []T, at *matrix.Matrix[T], mr int, scale T) []T {
 	kc, r := at.Rows, at.Cols
 	n := PackedASize(r, kc, mr)
@@ -130,6 +136,8 @@ func PackAT[T matrix.Scalar](dst []T, at *matrix.Matrix[T], mr int, scale T) []T
 
 // PackBT packs the transpose of the dense block bt (a c×kc view, holding
 // Bᵀ) into dst using the PackB layout: logical element B(k, j) = bt(j, k).
+//
+//cake:hotpath
 func PackBT[T matrix.Scalar](dst []T, bt *matrix.Matrix[T], nr int) []T {
 	c, kc := bt.Rows, bt.Cols
 	n := PackedBSize(kc, c, nr)
@@ -157,6 +165,8 @@ func PackBT[T matrix.Scalar](dst []T, bt *matrix.Matrix[T], nr int) []T {
 // packs kc×c.Cols per the layout contract. It sweeps register tiles in the
 // jr-inside-ir order of Figures 5c–d/6c–d (each A row panel is reused across
 // all B column panels, the per-core reuse pattern of Section 2.1).
+//
+//cake:hotpath
 func Macro[T matrix.Scalar](k kernel.Kernel[T], kc int, ap, bp []T, c *matrix.Matrix[T], s *kernel.Scratch[T]) {
 	mPanels := ceilDiv(c.Rows, k.MR)
 	nPanels := ceilDiv(c.Cols, k.NR)
@@ -181,6 +191,8 @@ func Macro[T matrix.Scalar](k kernel.Kernel[T], kc int, ap, bp []T, c *matrix.Ma
 // AddInto accumulates src into dst element-wise (dst += src). Used to fold a
 // locally accumulated CB-block C buffer back into the output matrix once its
 // K reduction completes.
+//
+//cake:hotpath
 func AddInto[T matrix.Scalar](dst, src *matrix.Matrix[T]) {
 	if dst.Rows != src.Rows || dst.Cols != src.Cols {
 		panic(fmt.Sprintf("packing: AddInto %dx%d += %dx%d", dst.Rows, dst.Cols, src.Rows, src.Cols))

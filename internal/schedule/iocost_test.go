@@ -118,11 +118,21 @@ func TestCostString(t *testing.T) {
 }
 
 func TestRandomScheduleNeverBeatsKFirst(t *testing.T) {
-	// Property: K-first is IO-optimal among sampled permutations.
+	// Property: the K-first family is IO-optimal among sampled permutations
+	// — no shuffle beats the better of the two snake orders. The baseline
+	// must consider both orders: OrderFor picks by grid shape, which is the
+	// right heuristic when the A and B surfaces are comparable, but
+	// testSurf's asymmetric surfaces (B > A) make the opposite order
+	// cheaper on shape-skewed grids, and a lucky shuffle can land on it.
+	// (Verified exhaustively for all grids of ≤7 blocks: no permutation
+	// beats the better snake.)
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		d := Dims{1 + rng.Intn(4), 1 + rng.Intn(4), 1 + rng.Intn(4)}
-		best := EvalIO(d, KFirst(d, OrderFor(d.Mb, d.Nb)), testSurf).Total()
+		best := EvalIO(d, KFirst(d, OuterM), testSurf).Total()
+		if bn := EvalIO(d, KFirst(d, OuterN), testSurf).Total(); bn < best {
+			best = bn
+		}
 		perm := KFirst(d, OuterN)
 		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
 		return EvalIO(d, perm, testSurf).Total() >= best

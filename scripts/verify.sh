@@ -1,8 +1,16 @@
 #!/usr/bin/env sh
-# verify.sh — the repo's tier-1 gate plus the race-sensitive packages.
+# verify.sh — the repo's tier-1 gate plus the invariant and race gates.
 # Run from anywhere; exits non-zero on the first failure.
 set -eu
 cd "$(dirname "$0")/.."
+
+echo "== gofmt -l"
+UNFORMATTED=$(gofmt -l cmd internal)
+if [ -n "$UNFORMATTED" ]; then
+	echo "gofmt: needs formatting:"
+	echo "$UNFORMATTED"
+	exit 1
+fi
 
 echo "== go vet ./..."
 go vet ./...
@@ -10,14 +18,24 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
+# cake-vet: the repo's own invariant analyzers (internal/analysis). Clean
+# output is a hard gate — see DESIGN.md §9 for the invariants and how to
+# silence a finding legitimately.
+echo "== cake-vet ./..."
+go run ./cmd/cake-vet ./...
+
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/pool ./internal/core ./internal/obs"
-go test -race ./internal/pool ./internal/core ./internal/obs
+# Race gate, two layers: every package runs under -race in -short mode
+# (wall-clock-sensitive tests skip themselves there rather than being
+# silently omitted), then the concurrency-critical packages run their full
+# suites under -race.
+echo "== go test -race -short ./..."
+go test -race -short ./...
 
-echo "== go test -race ./internal/engine ./internal/tenant"
-go test -race ./internal/engine ./internal/tenant
+echo "== go test -race ./internal/pool ./internal/core ./internal/obs ./internal/engine ./internal/tenant"
+go test -race ./internal/pool ./internal/core ./internal/obs ./internal/engine ./internal/tenant
 
 # Deterministic self-check of the benchmark regression gate: the committed
 # baseline compared against itself must always pass. Catches artifact-format
