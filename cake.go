@@ -281,6 +281,22 @@ var (
 	ErrExecutorInUse = core.ErrInUse
 )
 
+// Resident-operand store sentinel errors (EngineRegisterB and friends).
+var (
+	// ErrOperandExists: EngineRegisterB of an id that is still registered.
+	ErrOperandExists = engine.ErrOperandExists
+	// ErrOperandNotRegistered: an id the engine has never held.
+	ErrOperandNotRegistered = engine.ErrOperandNotRegistered
+	// ErrOperandEvicted: the id was registered but lost to LRU eviction under
+	// the resident byte budget; re-register to serve it again.
+	ErrOperandEvicted = engine.ErrOperandEvicted
+	// ErrOperandBudget: the operand cannot fit the resident byte budget.
+	ErrOperandBudget = engine.ErrOperandBudget
+	// ErrOperandType: EngineGemmResident with a scalar type different from
+	// the one the id was registered with.
+	ErrOperandType = engine.ErrOperandType
+)
+
 // NewEngine builds a concurrent GEMM engine. A nil EngineOptions.Platform
 // detects the host.
 func NewEngine(opts EngineOptions) (*Engine, error) { return engine.NewEngine(opts) }
@@ -293,6 +309,44 @@ func EngineGemm[T Scalar](e *Engine, c, a, b *Matrix[T]) (Stats, error) {
 // EngineGemmScaled computes C = α·op(A)×op(B) + β·C through an engine.
 func EngineGemmScaled[T Scalar](e *Engine, c, a, b *Matrix[T], transA, transB bool, alpha, beta T) (Stats, error) {
 	return engine.GemmScaled(e, c, a, b, transA, transB, alpha, beta)
+}
+
+// EngineRegisterB packs the weight operand B (stored K×N) once into the
+// engine's per-tier CAKE panel layouts and keeps the panels resident across
+// requests under the engine's byte budget (EngineOptions.ResidentBudgetBytes,
+// strict LRU eviction of unpinned operands). Serving calls against the id
+// via EngineGemmResident skip B packing entirely — the weights-serving
+// pattern of the paper's DNN-inference motivation. A live id fails with
+// ErrOperandExists; EngineReleaseB first to replace it.
+func EngineRegisterB[T Scalar](e *Engine, id string, b *Matrix[T]) error {
+	return engine.RegisterB(e, id, b)
+}
+
+// EngineRegisterBT is EngineRegisterB for an operand in either storage
+// order: when transB, b holds Bᵀ (N×K — how DNN weight matrices usually
+// ship). The strided transpose gather is paid once here; serving calls never
+// see it.
+func EngineRegisterBT[T Scalar](e *Engine, id string, b *Matrix[T], transB bool) error {
+	return engine.RegisterBT(e, id, b, transB)
+}
+
+// EngineReleaseB deregisters a resident operand. Panels pinned by in-flight
+// GEMMs stay readable until those calls finish; the id is immediately
+// re-registrable.
+func EngineReleaseB(e *Engine, id string) error { return e.ReleaseB(id) }
+
+// EngineGemmResident computes C += A×B_id against the resident operand
+// registered under id, bit-exact with the fresh-pack path but without
+// re-packing B. A registered id that was evicted under budget pressure fails
+// with ErrOperandEvicted (re-register and retry).
+func EngineGemmResident[T Scalar](e *Engine, c, a *Matrix[T], id string) (Stats, error) {
+	return engine.GemmResident(e, c, a, id)
+}
+
+// EngineGemmResidentScaled computes C = α·op(A)×B_id + β·C against a
+// resident operand.
+func EngineGemmResidentScaled[T Scalar](e *Engine, c, a *Matrix[T], id string, transA bool, alpha, beta T) (Stats, error) {
+	return engine.GemmResidentScaled(e, c, a, id, transA, alpha, beta)
 }
 
 func elemSize[T Scalar](v T) int {

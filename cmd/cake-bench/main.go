@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cake-bench [flags] table2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|packshare|gemm|trace|tenant|serve|all
+//	cake-bench [flags] table2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|packshare|gemm|trace|tenant|serve|resident|all
 //
 // Flags:
 //
@@ -25,6 +25,12 @@
 // client streams through the tiered engine vs a mutex-serialized single
 // executor, writing BENCH_serve.json (per-tier GEMMs/s and latency
 // percentiles, aggregate speedup, tiny dispatch A/B).
+//
+// The resident target measures the resident-operand store's serving win:
+// activation GEMMs against registered weights served from pre-packed
+// panels vs per-call weight packing, writing BENCH_resident.json (per-
+// shape GEMMs/s, latency percentiles, and the resident-vs-fresh speedup
+// the gate floors).
 //
 // The check subcommand is a noise-aware regression gate: it diffs fresh
 // (or -candidate directory) benchmark artifacts against the committed
@@ -74,7 +80,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cake-bench [-quick] [-csv DIR] [-clients N] [-dur D] table2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|packshare|gemm|trace|tenant|serve|all")
+	fmt.Fprintln(os.Stderr, "usage: cake-bench [-quick] [-csv DIR] [-clients N] [-dur D] table2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|packshare|gemm|trace|tenant|serve|resident|all")
 	fmt.Fprintln(os.Stderr, "       cake-bench check [-baseline DIR] [-candidate DIR] [-runs N] [-threshold F] [-quick]")
 }
 
@@ -145,6 +151,17 @@ func runCheck(args []string, w io.Writer) error {
 			}
 			res.Findings = append(res.Findings, benchgate.CompareServe(baseServe, candServe, opt)...)
 		}
+		if _, statErr := os.Stat(filepath.Join(*baseline, "BENCH_resident.json")); statErr == nil {
+			baseRes, err := benchgate.LoadResident(filepath.Join(*baseline, "BENCH_resident.json"))
+			if err != nil {
+				return err
+			}
+			candRes, err := benchgate.FreshResident(cores, *quick, opt.MinRuns)
+			if err != nil {
+				return err
+			}
+			res.Findings = append(res.Findings, benchgate.CompareResident(baseRes, candRes, opt)...)
+		}
 	}
 	res.Render(w)
 	if !res.OK() {
@@ -177,6 +194,10 @@ func updateBaseline(dir string, quick bool, runs int, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	resident, err := benchgate.BaselineResident(cores, quick, runs)
+	if err != nil {
+		return err
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -187,6 +208,7 @@ func updateBaseline(dir string, quick bool, runs int, w io.Writer) error {
 		{"BENCH_gemm.json", gemm},
 		{"BENCH_bwtimeline.json", tl},
 		{"BENCH_serve.json", serve},
+		{"BENCH_resident.json", resident},
 	} {
 		data, err := json.MarshalIndent(art.v, "", "  ")
 		if err != nil {
@@ -210,6 +232,7 @@ func run(target string, quick bool, csvDir string, w io.Writer) error {
 		"trace":     traceBench,
 		"tenant":    tenants,
 		"serve":     serveBench,
+		"resident":  residentBench,
 		"fig7":      fig7,
 		"fig8":      fig8,
 		"fig9":      fig9,
@@ -381,6 +404,43 @@ func serveBench(quick bool, csvDir string, w io.Writer) error {
 		res.TinyDirectP50Micros, res.TinyCakeP50Micros, res.LeaseNew, res.LeaseReused, res.QueuedTotal)
 
 	path := "BENCH_serve.json"
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		path = filepath.Join(csvDir, path)
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// residentBench measures fresh-vs-resident serving per weight shape and
+// writes machine-readable BENCH_resident.json into csvDir (or the current
+// directory).
+func residentBench(quick bool, csvDir string, w io.Writer) error {
+	res, err := experiments.ResidentBench(runtime.GOMAXPROCS(0), quick)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "== resident: pre-packed weight panels vs per-call packing ==")
+	fmt.Fprintf(w, "%-22s %-7s %12s %12s %9s %12s %12s\n",
+		"shape", "tier", "fresh/s", "resident/s", "speedup", "fresh p50µs", "res p50µs")
+	for _, row := range res.Rows {
+		mark := " "
+		if row.Gate {
+			mark = "*"
+		}
+		fmt.Fprintf(w, "%-22s %-7s %12.1f %12.1f %8.2fx%s %12.1f %12.1f\n",
+			row.Shape, row.Tier, row.FreshGemmsPerSec, row.ResidentGemmsPerSec,
+			row.Speedup, mark, row.FreshP50Micros, row.ResidentP50Micros)
+	}
+	fmt.Fprintf(w, "store: %d hits, %d evictions, %.1f MiB resident, %.1f MiB pack traffic avoided (* = gated shape)\n\n",
+		res.Hits, res.Evictions, float64(res.ResidentBytes)/(1<<20), float64(res.AvoidedPackBytes)/(1<<20))
+
+	path := "BENCH_resident.json"
 	if csvDir != "" {
 		if err := os.MkdirAll(csvDir, 0o755); err != nil {
 			return err

@@ -1,0 +1,92 @@
+// Package resident seeds leasebalance violations in the shape of the
+// engine's resident-operand store: acquire pins an operand and returns a
+// refcounted handle; every path — success, error, panic — must Release the
+// pin or transfer it outward, else the operand is unevictable forever
+// (a budget leak, the resident-store analogue of a dropped executor lease).
+package resident
+
+import "errors"
+
+var errEvicted = errors.New("operand evicted")
+
+type handle struct{ payload any }
+
+func (h *handle) Payload() any { return h.payload }
+func (h *handle) Release()     {}
+
+type store struct{ entries map[string]*handle }
+
+// acquire pins id's panels; the caller owns the pin on every path.
+//
+//cake:lease
+func (s *store) acquire(id string) (*handle, error) {
+	h, ok := s.entries[id]
+	if !ok {
+		return nil, errEvicted
+	}
+	return h, nil
+}
+
+type operand struct{ panels []float64 }
+
+func (o *operand) serve() {}
+
+// goodDeferred is the blessed serve shape: pin, defer the unpin, then do
+// panic-capable GEMM work.
+func goodDeferred(s *store, id string) error {
+	h, err := s.acquire(id)
+	if err != nil {
+		return err
+	}
+	defer h.Release()
+	op := h.Payload().(*operand)
+	op.serve()
+	return nil
+}
+
+// goodGuardedTransfer releases on the mismatch arm and transfers ownership
+// outward on success — the typed-acquire pattern.
+func goodGuardedTransfer(s *store, id string) (*handle, error) {
+	h, err := s.acquire(id)
+	if err != nil {
+		return nil, err
+	}
+	if h.payload == nil {
+		h.Release()
+		return nil, errEvicted
+	}
+	return h, nil
+}
+
+func badDropped(s *store, id string) {
+	h, _ := s.acquire(id) // want `not released or returned`
+	_ = h.Payload()
+}
+
+// badErrorPath unpins on success but leaks the pin on the mismatch arm.
+func badErrorPath(s *store, id string) error {
+	h, err := s.acquire(id)
+	if err != nil {
+		return err
+	}
+	op, ok := h.payload.(*operand)
+	if !ok {
+		return errEvicted // want `return without releasing`
+	}
+	op.serve()
+	h.Release()
+	return nil
+}
+
+// badNoDefer unpins on every path, but only after panic-capable work with
+// no defer: a packing-layout panic would leave the operand pinned forever.
+func badNoDefer(s *store, id string) error {
+	h, err := s.acquire(id) // want `release it in a defer`
+	if err != nil {
+		return err
+	}
+	op := h.Payload().(*operand)
+	op.serve()
+	h.Release()
+	return nil
+}

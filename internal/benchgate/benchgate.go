@@ -236,6 +236,18 @@ func CompareDirs(baseDir, candDir string, opt Options) (Result, error) {
 		}
 		res.Findings = append(res.Findings, CompareServe(bs, cs, opt)...)
 	}
+	// Resident likewise: gate only against baselines that carry the artifact.
+	if _, err := os.Stat(filepath.Join(baseDir, "BENCH_resident.json")); err == nil {
+		br, err := LoadResident(filepath.Join(baseDir, "BENCH_resident.json"))
+		if err != nil {
+			return Result{}, err
+		}
+		cr, err := LoadResident(filepath.Join(candDir, "BENCH_resident.json"))
+		if err != nil {
+			return Result{}, err
+		}
+		res.Findings = append(res.Findings, CompareResident(br, cr, opt)...)
+	}
 	return res, nil
 }
 

@@ -1,0 +1,131 @@
+package benchgate
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// baselineResident is a deterministic resident artifact shaped like a
+// healthy run: every shape faster resident than fresh, the gate shape
+// comfortably above the absolute floor.
+func baselineResident() experiments.ResidentBenchResult {
+	return experiments.ResidentBenchResult{
+		Cores: 1, GateShape: experiments.ResidentGateShape,
+		Rows: []experiments.ResidentBenchRow{
+			{Shape: "tiny-8x24x24/f32", Dtype: "f32", Tier: "tiny", M: 8, K: 24, N: 24,
+				FreshGemmsPerSec: 200000, ResidentGemmsPerSec: 300000, Speedup: 1.5},
+			{Shape: "small-8x320x320/f32", Dtype: "f32", Tier: "small", M: 8, K: 320, N: 320,
+				FreshGemmsPerSec: 2000, ResidentGemmsPerSec: 3200, Speedup: 1.6},
+			{Shape: experiments.ResidentGateShape, Dtype: "f64", Tier: "large", M: 8, K: 384, N: 384,
+				FreshGemmsPerSec: 1400, ResidentGemmsPerSec: 2300, Speedup: 1.64, Gate: true},
+			{Shape: "batch-48x576x576/f32", Dtype: "f32", Tier: "large", M: 48, K: 576, N: 576,
+				FreshGemmsPerSec: 160, ResidentGemmsPerSec: 180, Speedup: 1.12},
+		},
+		Hits: 100, AvoidedPackBytes: 1 << 28,
+	}
+}
+
+func TestCompareResidentIdenticalPasses(t *testing.T) {
+	res := Result{Findings: CompareResident(baselineResident(), baselineResident(), DefaultOptions())}
+	if !res.OK() {
+		t.Fatalf("self-compare regressed: %+v", res.Regressions())
+	}
+	// Four shape rows + the gate speedup.
+	if len(res.Findings) != 5 {
+		t.Fatalf("findings = %d, want 5", len(res.Findings))
+	}
+}
+
+func TestCompareResidentGatesThroughput(t *testing.T) {
+	opt := DefaultOptions()
+	cand := baselineResident()
+	cand.Rows[1].ResidentGemmsPerSec = 3200 * 0.85 // inside the 20% allowance
+	res := Result{Findings: CompareResident(baselineResident(), cand, opt)}
+	if !res.OK() {
+		t.Fatalf("15%% drop flagged: %+v", res.Regressions())
+	}
+
+	cand.Rows[1].ResidentGemmsPerSec = 3200 * 0.5
+	res = Result{Findings: CompareResident(baselineResident(), cand, opt)}
+	regs := res.Regressions()
+	if len(regs) != 1 || regs[0].Key != "small-8x320x320/f32" {
+		t.Fatalf("regressions = %+v, want the small shape only", regs)
+	}
+}
+
+// TestCompareResidentSpeedupFloorIsAbsolute: the speedup gate binds to
+// MinResidentSpeedup, not to the baseline's measured ratio — a baseline
+// captured on a lucky run must not ratchet the floor up.
+func TestCompareResidentSpeedupFloorIsAbsolute(t *testing.T) {
+	base := baselineResident()
+	cand := baselineResident()
+	gate := &cand.Rows[2]
+	gate.Speedup = MinResidentSpeedup + 0.01
+	res := Result{Findings: CompareResident(base, cand, DefaultOptions())}
+	if !res.OK() {
+		t.Fatalf("speedup above the floor flagged: %+v", res.Regressions())
+	}
+
+	gate.Speedup = MinResidentSpeedup - 0.1
+	res = Result{Findings: CompareResident(base, cand, DefaultOptions())}
+	regs := res.Regressions()
+	if len(regs) != 1 || regs[0].Metric != "speedup" {
+		t.Fatalf("regressions = %+v, want the speedup floor only", regs)
+	}
+	if regs[0].Limit != MinResidentSpeedup {
+		t.Fatalf("limit = %g, want the absolute floor %g", regs[0].Limit, MinResidentSpeedup)
+	}
+}
+
+func TestCompareResidentMissingRows(t *testing.T) {
+	cand := baselineResident()
+	cand.Rows = cand.Rows[:2] // drops the gate row and the batch shape
+	res := Result{Findings: CompareResident(baselineResident(), cand, DefaultOptions())}
+	regs := res.Regressions()
+	if len(regs) != 3 {
+		t.Fatalf("regressions = %+v, want 2 missing shapes + missing gate", regs)
+	}
+	var gateMissing bool
+	for _, f := range regs {
+		if f.Metric == "speedup" && strings.Contains(f.Detail, "missing") {
+			gateMissing = true
+		}
+	}
+	if !gateMissing {
+		t.Fatalf("gate-row absence not flagged: %+v", regs)
+	}
+}
+
+func TestLoadResident(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_resident.json")
+	data, err := json.Marshal(baselineResident())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadResident(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 || r.GateShape != experiments.ResidentGateShape {
+		t.Fatalf("round-trip mangled: %+v", r)
+	}
+
+	if err := os.WriteFile(path, []byte(`{"rows":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadResident(path); err == nil {
+		t.Fatal("empty artifact accepted")
+	}
+	if _, err := LoadResident(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

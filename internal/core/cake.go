@@ -26,7 +26,12 @@ type Stats struct {
 	PackedBElems int64          // elements packed from B
 	ReusedAElems int64          // A elements served from an already-packed panel
 	ReusedBElems int64          // B elements served from an already-packed panel
-	UnpackCElems int64          // elements accumulated back into C
+	// ResidentBElems counts B elements served from a pre-packed resident
+	// operand (GemmResident): pack traffic the resident store avoided, kept
+	// separate from ReusedBElems so per-call panel-cache hits and
+	// cross-request residency are attributable individually (§4.4).
+	ResidentBElems int64
+	UnpackCElems   int64 // elements accumulated back into C
 
 	// Phase timings (Section 5.2.1: packing overhead is included in all of
 	// the paper's measurements and can dominate for skewed shapes).
@@ -138,6 +143,10 @@ type Executor[T matrix.Scalar] struct {
 	inUse          atomic.Bool
 	transA, transB bool
 	alpha          T
+	// resB, when non-nil, feeds the B side of the in-flight call from
+	// pre-packed resident panels instead of packing (see GemmResident); the
+	// fresh-pack entry points leave it nil.
+	resB *ResidentB[T]
 }
 
 // ErrInUse is returned by GemmScaled (and the entry points layered on it)
@@ -258,6 +267,15 @@ func (e *Executor[T]) GemmScaled(c, a, b *matrix.Matrix[T], transA, transB bool,
 	}
 	defer e.inUse.Store(false)
 	e.transA, e.transB, e.alpha = transA, transB, alpha
+	e.resB = nil
+	return e.run(c, a, b, m, k, n, alpha, beta)
+}
+
+// run executes one admitted multiplication. Dimensions are pre-validated and
+// the per-call fields (transposes, α, resB) are set by the entry points;
+// b is nil on the resident path, where e.resB supplies every B panel and no
+// B packing code runs.
+func (e *Executor[T]) run(c, a, b *matrix.Matrix[T], m, k, n int, alpha, beta T) (Stats, error) {
 	if e.rec != nil {
 		// Traced spans double as phase-latency histogram samples when the
 		// metrics registry is live; cache the lookup for the whole call.
@@ -318,7 +336,13 @@ func (e *Executor[T]) GemmScaled(c, a, b *matrix.Matrix[T], transA, transB bool,
 			e.blockDimK(a, b, cBlock, &st, m0, mEff, k0, kEff, n0, nEff)
 		}
 		st.PackedAElems += int64(mEff) * int64(kEff)
-		st.PackedBElems += int64(kEff) * int64(nEff)
+		bElems := int64(kEff) * int64(nEff)
+		if e.resB != nil {
+			st.ResidentBElems += bElems
+			e.reuseEvent(e.curBlk, bElems)
+		} else {
+			st.PackedBElems += bElems
+		}
 		if runEnd {
 			t0 := time.Now()
 			e.unpack(c.View(m0, n0, mEff, nEff), cBlock)
@@ -335,7 +359,7 @@ func (e *Executor[T]) GemmScaled(c, a, b *matrix.Matrix[T], transA, transB bool,
 func (e *Executor[T]) accountGemm(st Stats) {
 	obs.AccountGemm("cake", st.Blocks,
 		(st.PackedAElems+st.PackedBElems)*e.elemBytes,
-		(st.ReusedAElems+st.ReusedBElems)*e.elemBytes,
+		(st.ReusedAElems+st.ReusedBElems+st.ResidentBElems)*e.elemBytes,
 		st.PackNanos, st.ComputeNanos, st.OverlapNanos)
 }
 
@@ -365,6 +389,12 @@ func (e *Executor[T]) grow(m, k, n int) {
 	} else {
 		needA = packing.PackedASize(bm, bk, e.cfg.MR)
 		needB = packing.PackedBSize(bk, bn, e.cfg.NR)
+	}
+	if e.resB != nil {
+		// Resident calls never write B buffers; keeping their logical length
+		// zero makes any stray B-pack reachable from this call an immediate
+		// bounds panic instead of silent wasted memory.
+		needB = 0
 	}
 	needC := bm * bn
 	if len(e.packA) != e.slots {
@@ -481,11 +511,15 @@ func (e *Executor[T]) blockDimN(a, b, cBlock *matrix.Matrix[T], st *Stats, m0, m
 		e.packASlice(e.packA[0][r0*kEff:], a, m0+r0, rows, k0, kEff)
 		e.span(core, obs.PhasePack, e.curBlk, u0, int64(rows)*int64(kEff)*e.elemBytes)
 	})
-	e.packBShared(b, k0, kEff, n0, nEff)
+	bp := e.residentCell(e.curBlk)
+	if bp == nil {
+		e.packBShared(b, k0, kEff, n0, nEff)
+		bp = e.packB[0]
+	}
 	st.PackNanos += time.Since(t0).Nanoseconds()
 
 	t0 = time.Now()
-	bp := e.packB[0][:packing.PackedBSize(kEff, nEff, e.cfg.NR)]
+	bp = bp[:packing.PackedBSize(kEff, nEff, e.cfg.NR)]
 	e.pool.ForStaticLabeled(e.computeCtx, strips, func(core, s int) {
 		u0 := e.now()
 		r0 := s * mc
@@ -506,13 +540,17 @@ func (e *Executor[T]) blockDimM(a, b, cBlock *matrix.Matrix[T], st *Stats, m0, m
 
 	t0 := time.Now()
 	e.packAShared(a, m0, mEff, k0, kEff)
-	e.pool.ForStaticLabeled(e.packCtx, strips, func(core, s int) {
-		u0 := e.now()
-		c0 := s * nc
-		cols := min(nc, nEff-c0)
-		e.packBSlice(e.packB[0][c0*kEff:], b, k0, kEff, n0+c0, cols)
-		e.span(core, obs.PhasePack, e.curBlk, u0, int64(kEff)*int64(cols)*e.elemBytes)
-	})
+	bSrc := e.residentCell(e.curBlk)
+	if bSrc == nil {
+		e.pool.ForStaticLabeled(e.packCtx, strips, func(core, s int) {
+			u0 := e.now()
+			c0 := s * nc
+			cols := min(nc, nEff-c0)
+			e.packBSlice(e.packB[0][c0*kEff:], b, k0, kEff, n0+c0, cols)
+			e.span(core, obs.PhasePack, e.curBlk, u0, int64(kEff)*int64(cols)*e.elemBytes)
+		})
+		bSrc = e.packB[0]
+	}
 	st.PackNanos += time.Since(t0).Nanoseconds()
 
 	t0 = time.Now()
@@ -521,7 +559,7 @@ func (e *Executor[T]) blockDimM(a, b, cBlock *matrix.Matrix[T], st *Stats, m0, m
 		u0 := e.now()
 		c0 := s * nc
 		cols := min(nc, nEff-c0)
-		bp := e.packB[0][c0*kEff : c0*kEff+packing.PackedBSize(kEff, cols, e.cfg.NR)]
+		bp := bSrc[c0*kEff : c0*kEff+packing.PackedBSize(kEff, cols, e.cfg.NR)]
 		packing.Macro(e.kern, kEff, ap, bp, cBlock.View(0, c0, mEff, cols), e.scratch[core])
 		e.span(core, obs.PhaseCompute, e.curBlk, u0, 0)
 	})
@@ -539,14 +577,21 @@ func (e *Executor[T]) blockDimK(a, b, cBlock *matrix.Matrix[T], st *Stats, m0, m
 	bSlice := packing.PackedBSize(kc, nEff, e.cfg.NR)
 
 	t0 := time.Now()
+	rbp := e.residentCell(e.curBlk)
 	e.pool.ForStaticLabeled(e.computeCtx, strips, func(core, s int) {
 		u0 := e.now()
 		kk0 := s * kc
 		depth := min(kc, kEff-kk0)
 		ap := e.packASlice(e.packA[0][s*aSlice:], a, m0, mEff, k0+kk0, depth)
-		bp := e.packBSlice(e.packB[0][s*bSlice:], b, k0+kk0, depth, n0, nEff)
-		e.span(core, obs.PhasePack, e.curBlk, u0,
-			(int64(mEff)+int64(nEff))*int64(depth)*e.elemBytes)
+		var bp []T
+		packed := int64(mEff) * int64(depth)
+		if rbp != nil {
+			bp = rbp[s*bSlice : s*bSlice+packing.PackedBSize(depth, nEff, e.cfg.NR)]
+		} else {
+			bp = e.packBSlice(e.packB[0][s*bSlice:], b, k0+kk0, depth, n0, nEff)
+			packed += int64(nEff) * int64(depth)
+		}
+		e.span(core, obs.PhasePack, e.curBlk, u0, packed*e.elemBytes)
 		u0 = e.now()
 		part := matrix.FromSlice(mEff, nEff, e.partials[core][:mEff*nEff])
 		part.Zero()

@@ -119,8 +119,15 @@ func (e *Executor[T]) submitPack(a, b *matrix.Matrix[T], blk blockSpan, busyA, b
 	s := &pipeStage{blk: blk}
 	var reusedA, reusedB bool
 	s.aSlot, reusedA = claimSlot(e.aKeys, e.aTick, &e.clock, aKeyFor(blk), busyA)
-	s.bSlot, reusedB = claimSlot(e.bKeys, e.bTick, &e.clock, bKeyFor(blk), busyB)
-	s.packedA, s.packedB = !reusedA, !reusedB
+	s.packedA = !reusedA
+	// Resident calls hold no B slot at all: every block's panels come from
+	// the store, so the slot ring, its keys and the pack units stay untouched
+	// on the B side (compute substitutes the resident cell, see computeStage).
+	s.bSlot = -1
+	if e.resB == nil {
+		s.bSlot, reusedB = claimSlot(e.bKeys, e.bTick, &e.clock, bKeyFor(blk), busyB)
+		s.packedB = !reusedB
+	}
 
 	aUnits, bUnits := 0, 0
 	if s.packedA {
@@ -134,7 +141,11 @@ func (e *Executor[T]) submitPack(a, b *matrix.Matrix[T], blk blockSpan, busyA, b
 		return s
 	}
 	s.pending.Store(int32(total))
-	aBuf, bBuf := e.packA[s.aSlot], e.packB[s.bSlot]
+	aBuf := e.packA[s.aSlot]
+	var bBuf []T
+	if s.bSlot >= 0 {
+		bBuf = e.packB[s.bSlot]
+	}
 	s.handle = e.pool.SubmitLabeled(e.packCtx, total, func(worker, u int) {
 		u0 := e.now()
 		s.startNs.CompareAndSwap(0, time.Now().UnixNano())
@@ -248,7 +259,11 @@ func (e *Executor[T]) packBUnit(dst []T, b *matrix.Matrix[T], blk blockSpan, u i
 // are bit-exact matches of synchronous ones.
 func (e *Executor[T]) computeStage(s *pipeStage, cBlock *matrix.Matrix[T]) {
 	blk := s.blk
-	aBuf, bBuf := e.packA[s.aSlot], e.packB[s.bSlot]
+	aBuf := e.packA[s.aSlot]
+	bBuf := e.residentCell(blk.coord)
+	if bBuf == nil {
+		bBuf = e.packB[s.bSlot]
+	}
 	switch e.cfg.Dim {
 	case DimN:
 		mc := e.cfg.MC
@@ -318,9 +333,13 @@ func (e *Executor[T]) finishPack(s *pipeStage, st *Stats, computeStart, computeE
 		st.ReusedAElems += aElems
 		e.reuseEvent(s.blk.coord, aElems)
 	}
-	if s.packedB {
+	switch {
+	case s.packedB:
 		st.PackedBElems += bElems
-	} else {
+	case e.resB != nil:
+		st.ResidentBElems += bElems
+		e.reuseEvent(s.blk.coord, bElems)
+	default:
 		st.ReusedBElems += bElems
 		e.reuseEvent(s.blk.coord, bElems)
 	}

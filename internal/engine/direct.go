@@ -114,3 +114,67 @@ func (d *DirectScratch[T]) GemmScaled(c, a, b *matrix.Matrix[T], transA, transB 
 		ComputeNanos: computeNs,
 	}, nil
 }
+
+// GemmResident computes C = α·op(A)×B + β·C where bp holds the whole k×n B
+// operand already packed in d.Kernel().NR-column panels — the tiny tier's
+// resident layout (see engine.RegisterB). The B pack is skipped entirely;
+// everything else matches GemmScaled, so results are bit-exact with the
+// fresh-pack path.
+func (d *DirectScratch[T]) GemmResident(c, a *matrix.Matrix[T], bp []T, k, n int, transA bool, alpha, beta T) (core.Stats, error) {
+	m, ka := a.Rows, a.Cols
+	if transA {
+		m, ka = ka, m
+	}
+	if ka != k || c.Rows != m || c.Cols != n {
+		return core.Stats{}, fmt.Errorf("engine: invalid GEMM dims C[%dx%d] = op(A)[%dx%d] x residentB[%dx%d]",
+			c.Rows, c.Cols, m, ka, k, n)
+	}
+	if need := packing.PackedBSize(k, n, d.kern.NR); len(bp) < need {
+		return core.Stats{}, fmt.Errorf("engine: resident B panel has %d elements, %dx%d needs %d", len(bp), k, n, need)
+	}
+	if beta == 0 {
+		c.Zero()
+	} else if beta != 1 {
+		c.Scale(beta)
+	}
+	if alpha == 0 {
+		return core.Stats{}, nil
+	}
+
+	t0 := time.Now()
+	needA := packing.PackedASize(m, k, d.kern.MR)
+	needC := m * n
+	if cap(d.packA) < needA {
+		d.packA = make([]T, needA)
+	}
+	if cap(d.bufC) < needC {
+		d.bufC = make([]T, needC)
+	}
+	var ap []T
+	if transA {
+		ap = packing.PackAT(d.packA[:needA], a, d.kern.MR, alpha)
+	} else {
+		ap = packing.PackA(d.packA[:needA], a, d.kern.MR, alpha)
+	}
+	cBlock := matrix.FromSlice(m, n, d.bufC[:needC])
+	cBlock.Zero()
+	packNs := time.Since(t0).Nanoseconds()
+
+	t0 = time.Now()
+	packing.Macro(d.kern, k, ap, bp, cBlock, d.scratch)
+	computeNs := time.Since(t0).Nanoseconds()
+
+	t0 = time.Now()
+	packing.AddInto(c, cBlock)
+	packNs += time.Since(t0).Nanoseconds()
+
+	return core.Stats{
+		Grid:           schedule.Dims{Mb: 1, Nb: 1, Kb: 1},
+		Blocks:         1,
+		PackedAElems:   int64(m) * int64(k),
+		ResidentBElems: int64(k) * int64(n),
+		UnpackCElems:   int64(m) * int64(n),
+		PackNanos:      packNs,
+		ComputeNanos:   computeNs,
+	}, nil
+}

@@ -31,6 +31,7 @@ import (
 	"unsafe"
 
 	"repro/internal/core"
+	"repro/internal/engine/resident"
 	"repro/internal/matrix"
 	"repro/internal/obs"
 	"repro/internal/platform"
@@ -93,6 +94,11 @@ type Options struct {
 	// LargePanelSlots is the pipelined executor's panel cache size for the
 	// large tier (see core.WithPanelCache). 0 keeps the ping-pong default.
 	LargePanelSlots int
+	// ResidentBudgetBytes bounds the resident-operand store (RegisterB):
+	// packed weight panels are kept under this many bytes with strict LRU
+	// eviction of unpinned operands. 0 means DefaultResidentBudget; negative
+	// disables the budget (nothing is ever evicted).
+	ResidentBudgetBytes int64
 }
 
 // tierSpec is one tier's static slice of the machine: its core demand and
@@ -125,7 +131,8 @@ type Engine struct {
 	pl         *platform.Platform
 	pool       *pool.Pool
 	tiers      [tierCount]tierSpec
-	panelSlots int // large-tier panel cache (core.WithPanelCache), set once at construction
+	panelSlots int             // large-tier panel cache (core.WithPanelCache), set once at construction
+	resident   *resident.Store // cross-request pre-packed operands (RegisterB)
 
 	mu       sync.Mutex
 	free     int
@@ -202,8 +209,20 @@ func NewEngine(opts Options) (*Engine, error) {
 	}
 	e.panelSlots = opts.LargePanelSlots
 
+	budget := opts.ResidentBudgetBytes
+	if budget == 0 {
+		budget = DefaultResidentBudget
+	}
+	if budget < 0 {
+		budget = 0 // store treats ≤0 as unlimited
+	}
+	e.resident = resident.New(budget)
+
 	e.pool = pool.New(pl.Cores)
 	obs.PublishEngine(name, e.Counters)
+	obs.PublishResident(name, func() obs.ResidentStats {
+		return residentStatsFor(e.resident.Stats())
+	})
 	return e, nil
 }
 
@@ -322,8 +341,10 @@ func (e *Engine) release(n int) {
 	}
 }
 
-// Close drains admission: queued waiters fail with ErrClosed, the shared
-// pool shuts down. In-flight calls finish normally.
+// Close drains admission: queued waiters fail with ErrClosed, the resident
+// store frees its packed panels (entries pinned by in-flight GEMMs free at
+// their last unpin — a server reload cycle cannot leak weight memory), and
+// the shared pool shuts down. In-flight calls finish normally.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	if e.closed {
@@ -340,6 +361,7 @@ func (e *Engine) Close() {
 		w.err = ErrClosed
 		close(w.ready)
 	}
+	e.resident.Close()
 	e.pool.Close()
 }
 
@@ -404,41 +426,61 @@ func GemmScaled[T matrix.Scalar](e *Engine, c, a, b *matrix.Matrix[T], transA, t
 	e.tierHits[t].Add(1)
 
 	if t == TierTiny {
-		// The direct path runs on the calling goroutine and never touches
-		// the shared worker pool, so it holds no core slice and skips
-		// admission entirely — queueing a few microseconds of register-tile
-		// work behind multi-millisecond CB runs would defeat the tier.
-		if e.closedFast.Load() {
-			return core.Stats{}, ErrClosed
-		}
-		e.inFlight.Add(1)
-		defer e.inFlight.Add(-1)
-		tc := cachesOf[T](e)
-		var d *DirectScratch[T]
-		if v := tc.direct.Get(); v != nil {
-			e.leaseReused.Add(1)
-			d = v.(*DirectScratch[T])
-		} else {
-			e.leaseNew.Add(1)
-			d = NewDirectScratch[T](8, 8)
-		}
-		// Return the scratch on every exit, error and panic paths included:
-		// DirectScratch keeps no cross-call state (its tiles are fully
-		// overwritten on the next use), so even a failed run leaves it safe
-		// to reuse, and dropping it would forfeit the warmed buffers the
-		// lease cache exists to keep.
-		defer tc.direct.Put(d)
-		st, err := d.GemmScaled(c, a, b, transA, transB, alpha, beta)
-		if err != nil {
-			return st, err
-		}
-		elem := int64(elemBytes)
-		obs.AccountGemm("cake", st.Blocks,
-			(st.PackedAElems+st.PackedBElems)*elem, 0,
-			st.PackNanos, st.ComputeNanos, 0)
-		return st, nil
+		return runDirect(e, func(d *DirectScratch[T]) (core.Stats, error) {
+			return d.GemmScaled(c, a, b, transA, transB, alpha, beta)
+		})
 	}
+	return runPooled(e, t, func(ex *core.Executor[T]) (core.Stats, error) {
+		return ex.GemmScaled(c, a, b, transA, transB, alpha, beta)
+	})
+}
 
+// directTileDim is the register tile the tiny tier's direct path runs with
+// (kernel.Best picks the implementation); the resident store packs its
+// tiny-tier panels for the same tile.
+const directTileDim = 8
+
+// runDirect leases a DirectScratch and runs fn on the calling goroutine —
+// the tiny tier. The direct path never touches the shared worker pool, so it
+// holds no core slice and skips admission entirely: queueing a few
+// microseconds of register-tile work behind multi-millisecond CB runs would
+// defeat the tier.
+func runDirect[T matrix.Scalar](e *Engine, fn func(d *DirectScratch[T]) (core.Stats, error)) (core.Stats, error) {
+	if e.closedFast.Load() {
+		return core.Stats{}, ErrClosed
+	}
+	e.inFlight.Add(1)
+	defer e.inFlight.Add(-1)
+	tc := cachesOf[T](e)
+	var d *DirectScratch[T]
+	if v := tc.direct.Get(); v != nil {
+		e.leaseReused.Add(1)
+		d = v.(*DirectScratch[T])
+	} else {
+		e.leaseNew.Add(1)
+		d = NewDirectScratch[T](directTileDim, directTileDim)
+	}
+	// Return the scratch on every exit, error and panic paths included:
+	// DirectScratch keeps no cross-call state (its tiles are fully
+	// overwritten on the next use), so even a failed run leaves it safe
+	// to reuse, and dropping it would forfeit the warmed buffers the
+	// lease cache exists to keep.
+	defer tc.direct.Put(d)
+	st, err := fn(d)
+	if err != nil {
+		return st, err
+	}
+	elem := int64(unsafe.Sizeof(*new(T)))
+	obs.AccountGemm("cake", st.Blocks,
+		(st.PackedAElems+st.PackedBElems)*elem,
+		st.ResidentBElems*elem,
+		st.PackNanos, st.ComputeNanos, 0)
+	return st, nil
+}
+
+// runPooled admits a request on tier t's core slice and runs fn on a leased
+// executor.
+func runPooled[T matrix.Scalar](e *Engine, t Tier, fn func(ex *core.Executor[T]) (core.Stats, error)) (core.Stats, error) {
 	if err := e.acquire(e.tiers[t].cores); err != nil {
 		return core.Stats{}, err
 	}
@@ -464,7 +506,7 @@ func GemmScaled[T matrix.Scalar](e *Engine, c, a, b *matrix.Matrix[T], transA, t
 			ex.Close()
 		}
 	}()
-	st, err := ex.GemmScaled(c, a, b, transA, transB, alpha, beta)
+	st, err := fn(ex)
 	if err != nil {
 		return st, err
 	}

@@ -1,0 +1,285 @@
+package resident
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRegisterAcquireRelease(t *testing.T) {
+	s := New(1000)
+	if err := s.Register("w0", "payload-0", 400); err != nil {
+		t.Fatal(err)
+	}
+	h, err := s.Acquire("w0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Payload() != "payload-0" {
+		t.Fatalf("payload = %v", h.Payload())
+	}
+	st := s.Stats()
+	if st.Entries != 1 || st.Pinned != 1 || st.Bytes != 400 || st.Hits != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	h.Release()
+	h.Release() // idempotent
+	st = s.Stats()
+	if st.Pinned != 0 || st.Bytes != 400 {
+		t.Fatalf("after release: %+v", st)
+	}
+	if err := s.Release("w0"); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("after deregister: %+v", st)
+	}
+	if _, err := s.Acquire("w0"); !errors.Is(err, ErrNotRegistered) {
+		t.Fatalf("released id: %v, want ErrNotRegistered", err)
+	}
+}
+
+func TestDoubleRegisterFailsTyped(t *testing.T) {
+	s := New(0)
+	if err := s.Register("w", 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Register("w", 2, 10)
+	if !errors.Is(err, ErrExists) {
+		t.Fatalf("double register: %v, want ErrExists", err)
+	}
+	// Release → re-register is the sanctioned replace cycle.
+	if err := s.Release("w"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("w", 2, 10); err != nil {
+		t.Fatal(err)
+	}
+	h, err := s.Acquire("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	if h.Payload() != 2 {
+		t.Fatalf("payload = %v, want replacement", h.Payload())
+	}
+}
+
+func TestLRUEvictionAndTombstones(t *testing.T) {
+	s := New(100)
+	for i := 0; i < 4; i++ {
+		if err := s.Register(fmt.Sprintf("w%d", i), i, 25); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch w0 so w1 is the LRU victim.
+	h, err := s.Acquire("w0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	if err := s.Register("w4", 4, 25); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Acquire("w1"); !errors.Is(err, ErrOperandEvicted) {
+		t.Fatalf("evicted id: %v, want ErrOperandEvicted", err)
+	}
+	for _, id := range []string{"w0", "w2", "w3", "w4"} {
+		h, err := s.Acquire(id)
+		if err != nil {
+			t.Fatalf("%s should have survived: %v", id, err)
+		}
+		h.Release()
+	}
+	st := s.Stats()
+	if st.Evictions != 1 || st.Misses != 1 || st.Bytes != 100 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Re-registering the evicted id clears the tombstone (and, with the
+	// budget full again, sacrifices the next LRU victim, w2).
+	if err := s.Register("w1", 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	h, err = s.Acquire("w1")
+	if err != nil {
+		t.Fatalf("re-registered id: %v", err)
+	}
+	h.Release()
+	// Releasing an evicted id (after evicting w2 next) is a successful no-op.
+	if err := s.Register("big", 0, 80); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if st.Evictions < 2 {
+		t.Fatalf("expected more evictions, stats %+v", st)
+	}
+}
+
+func TestPinnedEntriesAreNotEvicted(t *testing.T) {
+	s := New(100)
+	if err := s.Register("pinned", 0, 60); err != nil {
+		t.Fatal(err)
+	}
+	h, err := s.Acquire("pinned")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	if err := s.Register("loose", 1, 30); err != nil {
+		t.Fatal(err)
+	}
+	// 60 pinned + 30 loose; a 40-byte newcomer can only evict "loose", and
+	// still fails because the pinned entry holds the rest.
+	err = s.Register("newcomer", 2, 50)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("register over pinned bytes: %v, want ErrBudget", err)
+	}
+	if _, err := s.Acquire("loose"); !errors.Is(err, ErrOperandEvicted) {
+		t.Fatalf("loose should have been sacrificed: %v", err)
+	}
+	if st := s.Stats(); st.Entries != 1 || st.Bytes != 60 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestOversizedOperandRejected(t *testing.T) {
+	s := New(100)
+	if err := s.Register("huge", 0, 101); !errors.Is(err, ErrBudget) {
+		t.Fatalf("oversized register: %v, want ErrBudget", err)
+	}
+	// Unlimited budget takes anything.
+	u := New(0)
+	if err := u.Register("huge", 0, 1<<40); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseWhilePinnedDefersFree(t *testing.T) {
+	s := New(0)
+	if err := s.Register("w", "v1", 40); err != nil {
+		t.Fatal(err)
+	}
+	h, err := s.Acquire("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Release("w"); err != nil {
+		t.Fatal(err)
+	}
+	// Deregistered but pinned: payload still readable, bytes still charged,
+	// id free for re-registration.
+	if h.Payload() != "v1" {
+		t.Fatal("payload lost while pinned")
+	}
+	if st := s.Stats(); st.Entries != 0 || st.Bytes != 40 {
+		t.Fatalf("stats %+v", st)
+	}
+	if err := s.Register("w", "v2", 10); err != nil {
+		t.Fatalf("re-register of defunct id: %v", err)
+	}
+	h.Release()
+	if st := s.Stats(); st.Bytes != 10 {
+		t.Fatalf("defunct bytes not freed at last unpin: %+v", st)
+	}
+}
+
+func TestCloseDrains(t *testing.T) {
+	s := New(0)
+	if err := s.Register("a", 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("b", 1, 20); err != nil {
+		t.Fatal(err)
+	}
+	h, err := s.Acquire("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // idempotent
+	if st := s.Stats(); st.Entries != 0 || st.Bytes != 20 {
+		t.Fatalf("after close: %+v", st)
+	}
+	if err := s.Register("c", 2, 5); !errors.Is(err, ErrClosed) {
+		t.Fatalf("register after close: %v", err)
+	}
+	if _, err := s.Acquire("a"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("acquire after close: %v", err)
+	}
+	if err := s.Release("a"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("release after close: %v", err)
+	}
+	// The pinned entry's panels remained readable through Close; the last
+	// unpin frees the final bytes.
+	if h.Payload() != 1 {
+		t.Fatal("pinned payload lost at close")
+	}
+	h.Release()
+	if st := s.Stats(); st.Bytes != 0 {
+		t.Fatalf("bytes leaked past close + unpin: %+v", st)
+	}
+}
+
+func TestAccountAvoided(t *testing.T) {
+	s := New(0)
+	s.AccountAvoided(100)
+	s.AccountAvoided(23)
+	if st := s.Stats(); st.AvoidedPackBytes != 123 {
+		t.Fatalf("avoided = %d", st.AvoidedPackBytes)
+	}
+}
+
+// TestStoreStress hammers every store operation from many goroutines; run
+// under -race it proves the locking discipline, and the final drain proves
+// no bytes leak through any interleaving of eviction, deregistration,
+// pinning and close-less shutdown.
+func TestStoreStress(t *testing.T) {
+	const (
+		workers = 8
+		ops     = 400
+		ids     = 6
+	)
+	s := New(300) // tight budget: ~3 entries of 100 → constant eviction
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				id := fmt.Sprintf("w%d", (w+i)%ids)
+				switch i % 4 {
+				case 0:
+					_ = s.Register(id, w, 100)
+				case 1:
+					if h, err := s.Acquire(id); err == nil {
+						_ = h.Payload()
+						h.Release()
+					}
+				case 2:
+					if h, err := s.Acquire(id); err == nil {
+						// Deregister while pinned: defunct path.
+						_ = s.Release(id)
+						h.Release()
+					}
+				default:
+					_ = s.Release(id)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Pinned != 0 {
+		t.Fatalf("pins leaked: %+v", st)
+	}
+	if st.Bytes != st.Entries*100 {
+		t.Fatalf("byte accounting drifted: %+v", st)
+	}
+	for i := 0; i < ids; i++ {
+		_ = s.Release(fmt.Sprintf("w%d", i))
+	}
+	if st := s.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("drain left %+v", st)
+	}
+}

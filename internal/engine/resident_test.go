@@ -1,0 +1,266 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// residentOracle registers B (optionally transposed) and demands the
+// resident path reproduce the fresh-pack engine path bit-for-bit on the
+// given shape — same tier arithmetic, same strip decomposition, so any
+// divergence is a resident-layout bug.
+func residentOracle[T matrix.Scalar](t *testing.T, e *Engine, m, k, n int, transA, transB bool, alpha, beta T, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	a := matrix.New[T](m, k)
+	if transA {
+		a = matrix.New[T](k, m)
+	}
+	b := matrix.New[T](k, n)
+	if transB {
+		b = matrix.New[T](n, k)
+	}
+	a.Randomize(rng)
+	b.Randomize(rng)
+	c0 := matrix.New[T](m, n)
+	c0.Randomize(rng)
+	c1 := c0.Clone()
+
+	id := fmt.Sprintf("oracle-%dx%dx%d-%v%v-%d", m, k, n, transA, transB, seed)
+	if err := RegisterBT(e, id, b, transB); err != nil {
+		t.Fatalf("RegisterBT: %v", err)
+	}
+	defer e.ReleaseB(id)
+
+	if _, err := GemmScaled(e, c0, a, b, transA, transB, alpha, beta); err != nil {
+		t.Fatalf("fresh: %v", err)
+	}
+	st, err := GemmResidentScaled(e, c1, a, id, transA, alpha, beta)
+	if err != nil {
+		t.Fatalf("resident: %v", err)
+	}
+	for i := range c0.Data {
+		if c0.Data[i] != c1.Data[i] {
+			t.Fatalf("%dx%dx%d transA=%v transB=%v: element %d differs: fresh %v resident %v",
+				m, k, n, transA, transB, i, c0.Data[i], c1.Data[i])
+		}
+	}
+	if st.PackedBElems != 0 {
+		t.Fatalf("resident call packed B: %+v", st)
+	}
+	if alpha != 0 && st.ResidentBElems == 0 {
+		t.Fatalf("resident call reported no ResidentBElems: %+v", st)
+	}
+}
+
+func TestEngineResidentOracleAllTiers(t *testing.T) {
+	e := newTestEngine(t, 2, Options{})
+	shapes := [][3]int{
+		{16, 16, 16},    // tiny: 6 KB f64 footprint ≤ 8 KB L1
+		{64, 48, 80},    // small: ~151 KB f64 working set ≤ 256 KB LLC
+		{200, 160, 220}, // large
+		{8, 160, 160},   // skewed serving shape: small M over a big operand
+	}
+	seed := int64(500)
+	for _, sh := range shapes {
+		seed++
+		residentOracle[float64](t, e, sh[0], sh[1], sh[2], false, false, 1, 1, seed)
+		residentOracle[float32](t, e, sh[0], sh[1], sh[2], false, false, 1, 1, seed)
+	}
+	// Transposes and scaling on a mid-size shape.
+	for _, transA := range []bool{false, true} {
+		for _, transB := range []bool{false, true} {
+			seed++
+			residentOracle[float64](t, e, 48, 64, 96, transA, transB, 2.5, -1, seed)
+		}
+	}
+	ct := e.Counters()
+	if ct.TierTiny == 0 || ct.TierSmall == 0 || ct.TierLarge == 0 {
+		t.Fatalf("not all tiers exercised: %+v", ct)
+	}
+	if st := e.ResidentStats(); st.AvoidedPackBytes == 0 || st.Hits == 0 {
+		t.Fatalf("resident counters flat: %+v", st)
+	}
+}
+
+func TestEngineRegisterLifecycle(t *testing.T) {
+	e := newTestEngine(t, 2, Options{})
+	b := matrix.New[float64](64, 64)
+	if err := RegisterB(e, "w", b); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterB(e, "w", b); !errors.Is(err, ErrOperandExists) {
+		t.Fatalf("double register: %v, want ErrOperandExists", err)
+	}
+	if err := e.ReleaseB("w"); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterB(e, "w", b); err != nil {
+		t.Fatalf("re-register after release: %v", err)
+	}
+
+	a := matrix.New[float64](8, 64)
+	c := matrix.New[float64](8, 64)
+	if _, err := GemmResident(e, c, a, "nope"); !errors.Is(err, ErrOperandNotRegistered) {
+		t.Fatalf("unknown id: %v, want ErrOperandNotRegistered", err)
+	}
+	// Serving with the wrong scalar type is a typed failure, and must not
+	// leave the operand pinned.
+	a32 := matrix.New[float32](8, 64)
+	c32 := matrix.New[float32](8, 64)
+	if _, err := GemmResident(e, c32, a32, "w"); !errors.Is(err, ErrOperandType) {
+		t.Fatalf("wrong type: %v, want ErrOperandType", err)
+	}
+	if st := e.ResidentStats(); st.Pinned != 0 {
+		t.Fatalf("type-mismatch serve leaked a pin: %+v", st)
+	}
+	// Dimension mismatch likewise.
+	bad := matrix.New[float64](8, 32)
+	if _, err := GemmResident(e, c, bad, "w"); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if st := e.ResidentStats(); st.Pinned != 0 {
+		t.Fatalf("dim-mismatch serve leaked a pin: %+v", st)
+	}
+}
+
+func TestEngineResidentEviction(t *testing.T) {
+	// Budget sized to hold one 64×64 f64 operand's panel sets but not two.
+	b := matrix.New[float64](64, 64)
+	e := newTestEngine(t, 2, Options{ResidentBudgetBytes: 100 << 10})
+	if err := RegisterB(e, "w0", b); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterB(e, "w1", b); err != nil {
+		t.Fatal(err)
+	}
+	a := matrix.New[float64](8, 64)
+	c := matrix.New[float64](8, 64)
+	if _, err := GemmResident(e, c, a, "w0"); !errors.Is(err, ErrOperandEvicted) {
+		t.Fatalf("LRU victim: %v, want ErrOperandEvicted", err)
+	}
+	if _, err := GemmResident(e, c, a, "w1"); err != nil {
+		t.Fatalf("survivor: %v", err)
+	}
+	if st := e.ResidentStats(); st.Evictions == 0 || st.Misses == 0 {
+		t.Fatalf("eviction not counted: %+v", st)
+	}
+	// A single operand larger than the whole budget is rejected outright.
+	huge := matrix.New[float64](128, 128)
+	if err := RegisterB(e, "huge", huge); !errors.Is(err, ErrOperandBudget) {
+		t.Fatalf("oversized operand: %v, want ErrOperandBudget", err)
+	}
+}
+
+// TestEngineCloseDrainsResident is the satellite-2 regression: Close frees
+// the resident panels and every subsequent resident operation fails with
+// ErrClosed.
+func TestEngineCloseDrainsResident(t *testing.T) {
+	e := newTestEngine(t, 2, Options{})
+	b := matrix.New[float64](64, 64)
+	if err := RegisterB(e, "w", b); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	if st := e.ResidentStats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("close left resident panels: %+v", st)
+	}
+	if err := RegisterB(e, "late", b); !errors.Is(err, ErrClosed) {
+		t.Fatalf("register after close: %v, want ErrClosed", err)
+	}
+	if err := e.ReleaseB("w"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("release after close: %v, want ErrClosed", err)
+	}
+	a := matrix.New[float64](8, 64)
+	c := matrix.New[float64](8, 64)
+	if _, err := GemmResident(e, c, a, "w"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("serve after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestEngineResidentStress drives registration, serving, release and
+// LRU eviction concurrently; under -race it proves the pin/evict/free
+// dance has no data races, and the oracle check on every serve proves
+// eviction never hands a GEMM freed or partially-replaced panels.
+func TestEngineResidentStress(t *testing.T) {
+	const ids = 4
+	workers := 4
+	iters := 30
+	if testing.Short() {
+		workers, iters = 2, 8
+	}
+	// Budget fits roughly two of the four operands: constant churn.
+	e := newTestEngine(t, 2, Options{ResidentBudgetBytes: 200 << 10})
+	const k, n, m = 64, 64, 8
+
+	// Per-id reference inputs and expected product (alpha=1, beta=0).
+	bs := make([]*matrix.Matrix[float64], ids)
+	a := matrix.New[float64](m, k)
+	rng := rand.New(rand.NewSource(99))
+	a.Randomize(rng)
+	want := make([]*matrix.Matrix[float64], ids)
+	for i := range bs {
+		bs[i] = matrix.New[float64](k, n)
+		bs[i].Randomize(rng)
+		want[i] = matrix.New[float64](m, n)
+		if _, err := GemmScaled(e, want[i], a, bs[i], false, false, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := matrix.New[float64](m, n)
+			for i := 0; i < iters; i++ {
+				id := (w + i) % ids
+				name := fmt.Sprintf("w%d", id)
+				switch i % 3 {
+				case 0:
+					err := RegisterB(e, name, bs[id])
+					if err != nil && !errors.Is(err, ErrOperandExists) && !errors.Is(err, ErrOperandBudget) {
+						errCh <- fmt.Errorf("register %s: %w", name, err)
+						return
+					}
+				case 1:
+					_, err := GemmResidentScaled(e, c, a, name, false, 1, 0)
+					switch {
+					case err == nil:
+						for j := range c.Data {
+							if c.Data[j] != want[id].Data[j] {
+								errCh <- fmt.Errorf("serve %s diverged at %d", name, j)
+								return
+							}
+						}
+					case errors.Is(err, ErrOperandNotRegistered), errors.Is(err, ErrOperandEvicted):
+					default:
+						errCh <- fmt.Errorf("serve %s: %w", name, err)
+						return
+					}
+				default:
+					err := e.ReleaseB(name)
+					if err != nil && !errors.Is(err, ErrOperandNotRegistered) {
+						errCh <- fmt.Errorf("release %s: %w", name, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if st := e.ResidentStats(); st.Pinned != 0 {
+		t.Fatalf("stress leaked pins: %+v", st)
+	}
+}

@@ -1,0 +1,228 @@
+// Resident-operand serving: RegisterB packs a weight matrix once into every
+// tier layout the dispatcher might pick, parks the panels in the engine's
+// refcounted LRU store (internal/engine/resident), and GemmResident serves
+// activations against them with the pack bypass — the paper's DNN-inference
+// motivation turned into an API. Registration pays the pack (including the
+// strided PackBT gather for transposed weights) exactly once; every serve
+// call afterwards skips B packing on whichever tier it lands on.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"unsafe"
+
+	"repro/internal/core"
+	"repro/internal/engine/resident"
+	"repro/internal/kernel"
+	"repro/internal/matrix"
+	"repro/internal/obs"
+	"repro/internal/packing"
+)
+
+// Resident-store sentinel errors, re-exported so callers don't import the
+// store package; match with errors.Is.
+var (
+	// ErrOperandExists rejects RegisterB of an id that is still registered.
+	ErrOperandExists = resident.ErrExists
+	// ErrOperandNotRegistered reports an id the engine has never held.
+	ErrOperandNotRegistered = resident.ErrNotRegistered
+	// ErrOperandEvicted reports an id lost to LRU eviction under the byte
+	// budget; re-register to serve it again.
+	ErrOperandEvicted = resident.ErrOperandEvicted
+	// ErrOperandBudget rejects RegisterB of an operand that cannot fit the
+	// byte budget even after evicting everything unpinned.
+	ErrOperandBudget = resident.ErrBudget
+	// ErrOperandType reports a GemmResident whose scalar type differs from
+	// the one the id was registered with.
+	ErrOperandType = errors.New("engine: resident operand registered with a different scalar type")
+)
+
+// DefaultResidentBudget bounds the resident store when Options leaves
+// ResidentBudgetBytes zero: 256 MiB ≈ 64 f32 1024×1024 weight operands,
+// comfortably a serving working set while still forcing LRU turnover on
+// unbounded registration loops.
+const DefaultResidentBudget int64 = 256 << 20
+
+// residentOperand is one registered B packed for every dispatch tier that
+// could serve it. The large layout always exists (any problem can land
+// there); the tiny and small layouts exist iff the tier's cache arithmetic
+// can ever select them for this operand — TierFor guarantees a+b+c ≤ L1
+// implies b ≤ L1 and c+2(a+b) ≤ LLC implies 2b ≤ LLC, so a tier hit always
+// finds its layout present.
+type residentOperand[T matrix.Scalar] struct {
+	k, n  int
+	tiny  []T                // whole-operand kernel-NR panels (direct path)
+	small *core.ResidentB[T] // single-CB-block tier grid
+	large *core.ResidentB[T] // full K-first panel grid
+}
+
+// RegisterB packs B (stored K×N) once into the engine's per-tier panel
+// layouts and keeps it resident under the byte budget, evicting
+// least-recently-used unpinned operands to fit. A live id fails with
+// ErrOperandExists — ReleaseB first, then re-register.
+func RegisterB[T matrix.Scalar](e *Engine, id string, b *matrix.Matrix[T]) error {
+	return RegisterBT(e, id, b, false)
+}
+
+// RegisterBT is RegisterB for an operand in either storage order: when
+// transB, b holds Bᵀ (N×K — how DNN weights usually ship). The packed panel
+// layout is storage-order oblivious, so serving calls never pay the strided
+// transpose gather; it happens here, once.
+func RegisterBT[T matrix.Scalar](e *Engine, id string, b *matrix.Matrix[T], transB bool) error {
+	if e.closedFast.Load() {
+		return ErrClosed
+	}
+	k, n := b.Rows, b.Cols
+	if transB {
+		k, n = n, k
+	}
+	var zero T
+	elem := int64(unsafe.Sizeof(zero))
+	op := &residentOperand[T]{k: k, n: n}
+	bBytes := int64(k) * int64(n) * elem
+	var total int64
+	if bBytes <= e.pl.L1Bytes {
+		kern := kernel.Best[T](directTileDim, directTileDim)
+		op.tiny = make([]T, packing.PackedBSize(k, n, kern.NR))
+		if transB {
+			packing.PackBT(op.tiny, b, kern.NR)
+		} else {
+			packing.PackB(op.tiny, b, kern.NR)
+		}
+		total += int64(len(op.tiny)) * elem
+	}
+	if 2*bBytes <= e.pl.LLCBytes {
+		rb, err := core.PackResidentB(e.TierConfig(TierSmall, int(elem)), b, transB)
+		if err != nil {
+			return fmt.Errorf("engine: register %q small tier: %w", id, err)
+		}
+		op.small = rb
+		total += rb.Bytes()
+	}
+	rb, err := core.PackResidentB(e.TierConfig(TierLarge, int(elem)), b, transB)
+	if err != nil {
+		return fmt.Errorf("engine: register %q large tier: %w", id, err)
+	}
+	op.large = rb
+	total += rb.Bytes()
+	return e.resident.Register(id, op, total)
+}
+
+// ReleaseB deregisters a resident operand. Panels pinned by in-flight
+// GemmResident calls stay readable until those calls finish; the id is
+// immediately re-registrable either way.
+func (e *Engine) ReleaseB(id string) error {
+	if e.closedFast.Load() {
+		return ErrClosed
+	}
+	return e.resident.Release(id)
+}
+
+// ResidentStats snapshots the resident store's counters.
+func (e *Engine) ResidentStats() resident.Stats { return e.resident.Stats() }
+
+// residentStatsFor maps store counters onto the obs export shape.
+func residentStatsFor(s resident.Stats) obs.ResidentStats {
+	return obs.ResidentStats{
+		Entries:          s.Entries,
+		Pinned:           s.Pinned,
+		Bytes:            s.Bytes,
+		Budget:           s.Budget,
+		Hits:             s.Hits,
+		Misses:           s.Misses,
+		Evictions:        s.Evictions,
+		AvoidedPackBytes: s.AvoidedPackBytes,
+	}
+}
+
+// residentHandle pairs a store pin with its typed payload for the duration
+// of one GEMM.
+type residentHandle[T matrix.Scalar] struct {
+	h  *resident.Handle
+	op *residentOperand[T]
+}
+
+// Release drops the pin (idempotent).
+func (h *residentHandle[T]) Release() { h.h.Release() }
+
+// acquireOperand pins id's packed panels and types them. The caller owns the
+// pin and must Release it on every path — the GEMM body can panic (packing
+// layout guards panic by design), so release in a defer.
+//
+//cake:lease
+func acquireOperand[T matrix.Scalar](e *Engine, id string) (*residentHandle[T], error) {
+	h, err := e.resident.Acquire(id)
+	if err != nil {
+		return nil, err
+	}
+	op, ok := h.Payload().(*residentOperand[T])
+	if !ok {
+		h.Release()
+		return nil, fmt.Errorf("%w: %q", ErrOperandType, id)
+	}
+	return &residentHandle[T]{h: h, op: op}, nil
+}
+
+// GemmResident computes C += op(A)×B_id against the resident operand
+// registered under id, skipping B packing on every tier.
+func GemmResident[T matrix.Scalar](e *Engine, c, a *matrix.Matrix[T], id string) (core.Stats, error) {
+	return GemmResidentScaled(e, c, a, id, false, 1, 1)
+}
+
+// GemmResidentScaled is the full resident entry point:
+// C = α·op(A)×B_id + β·C. The operand is pinned for the duration of the call
+// (it cannot be evicted or freed mid-run), classified by the same tier
+// arithmetic as GemmScaled, and served from the tier's pre-packed panels.
+func GemmResidentScaled[T matrix.Scalar](e *Engine, c, a *matrix.Matrix[T], id string, transA bool, alpha, beta T) (core.Stats, error) {
+	if e.closedFast.Load() {
+		return core.Stats{}, ErrClosed
+	}
+	h, err := acquireOperand[T](e, id)
+	if err != nil {
+		return core.Stats{}, err
+	}
+	defer h.Release()
+	op := h.op
+
+	m, k := a.Rows, a.Cols
+	if transA {
+		m, k = k, m
+	}
+	if k != op.k || c.Rows != m || c.Cols != op.n {
+		return core.Stats{}, fmt.Errorf("engine: invalid GEMM dims C[%dx%d] = op(A)[%dx%d] x residentB[%dx%d] (%q)",
+			c.Rows, c.Cols, m, k, op.k, op.n, id)
+	}
+	elemBytes := int(unsafe.Sizeof(*new(T)))
+	t := e.TierFor(m, k, op.n, elemBytes)
+	// TierFor's arithmetic guarantees the tier's layout was packed (see
+	// residentOperand); fall through to the next tier up if a pathological
+	// platform geometry ever breaks that.
+	if t == TierTiny && op.tiny == nil {
+		t = TierSmall
+	}
+	if t == TierSmall && op.small == nil {
+		t = TierLarge
+	}
+	e.tierHits[t].Add(1)
+
+	var st core.Stats
+	if t == TierTiny {
+		st, err = runDirect(e, func(d *DirectScratch[T]) (core.Stats, error) {
+			return d.GemmResident(c, a, op.tiny, op.k, op.n, transA, alpha, beta)
+		})
+	} else {
+		rb := op.large
+		if t == TierSmall {
+			rb = op.small
+		}
+		st, err = runPooled(e, t, func(ex *core.Executor[T]) (core.Stats, error) {
+			return ex.GemmResident(c, a, rb, transA, alpha, beta)
+		})
+	}
+	if err != nil {
+		return st, err
+	}
+	e.resident.AccountAvoided(st.ResidentBElems * int64(elemBytes))
+	return st, nil
+}

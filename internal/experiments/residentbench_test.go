@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestResidentBenchQuickRun exercises the benchmark end to end in quick
+// mode, checking structure: every shape produces both measurements, tiers
+// span the dispatch range, the gate row exists exactly once under the
+// exported name, and the store counters show the resident path actually
+// skipped pack traffic.
+func TestResidentBenchQuickRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("resident bench run in -short mode")
+	}
+	res, err := ResidentBench(1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GateShape != ResidentGateShape {
+		t.Fatalf("gate shape = %q, want %q", res.GateShape, ResidentGateShape)
+	}
+	gates := 0
+	tiers := map[string]bool{}
+	for _, row := range res.Rows {
+		if row.FreshGemmsPerSec <= 0 || row.ResidentGemmsPerSec <= 0 || row.Speedup <= 0 {
+			t.Fatalf("row not measured: %+v", row)
+		}
+		tiers[row.Tier] = true
+		if row.Gate {
+			gates++
+			if row.Shape != ResidentGateShape {
+				t.Fatalf("gate row is %q, want %q", row.Shape, ResidentGateShape)
+			}
+		}
+	}
+	if gates != 1 {
+		t.Fatalf("%d gate rows, want exactly 1", gates)
+	}
+	for _, tier := range []string{"tiny", "small", "large"} {
+		if !tiers[tier] {
+			t.Fatalf("no row landed on the %s tier: %v", tier, tiers)
+		}
+	}
+	if res.Hits == 0 || res.AvoidedPackBytes == 0 {
+		t.Fatalf("resident counters empty after run: %+v", res)
+	}
+}
+
+// TestResidentBenchTierNames pins the fixed-model tier classification of
+// the benchmark shapes, so a platform-model change that silently moves a
+// shape across tiers fails loudly rather than shifting the gate's meaning.
+func TestResidentBenchTierNames(t *testing.T) {
+	e, err := engine.NewEngine(engine.Options{Platform: servePlatform(1), Name: "resident-tier-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if tier := e.TierFor(8, 24, 24, 4); tier != engine.TierTiny {
+		t.Fatalf("8x24x24 f32 = %v, want tiny", tier)
+	}
+	if tier := e.TierFor(8, 320, 320, 4); tier != engine.TierSmall {
+		t.Fatalf("8x320x320 f32 = %v, want small", tier)
+	}
+	if tier := e.TierFor(8, 384, 384, 8); tier != engine.TierLarge {
+		t.Fatalf("8x384x384 f64 = %v, want large", tier)
+	}
+	if tier := e.TierFor(48, 576, 576, 4); tier != engine.TierLarge {
+		t.Fatalf("48x576x576 f32 = %v, want large", tier)
+	}
+}

@@ -175,4 +175,5 @@ func WritePrometheus(w io.Writer) {
 	}
 
 	writeEnginePrometheus(w)
+	writeResidentPrometheus(w)
 }

@@ -1,0 +1,122 @@
+package obs
+
+// Resident-store observability: the engine's cross-request operand store
+// (internal/engine/resident) reports its residency gauges and hit/miss/
+// eviction traffic through the same expvar + Prometheus surface as the
+// executor and engine counters, so a serving host can see how much pack
+// traffic its registered weights are avoiding (§4.4) next to the GEMM
+// counters that benefit.
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// ResidentStats is a point-in-time snapshot of one engine's resident
+// operand store. Entries, Pinned, Bytes and Budget are gauges; the rest are
+// cumulative totals.
+type ResidentStats struct {
+	Entries          int64 // operands currently resident
+	Pinned           int64 // of those, pinned by in-flight GEMMs
+	Bytes            int64 // resident packed-panel bytes
+	Budget           int64 // configured byte budget (0 = unlimited)
+	Hits             int64 // operand acquisitions served
+	Misses           int64 // acquisitions failed (evicted or unknown id)
+	Evictions        int64 // operands lost to budget pressure
+	AvoidedPackBytes int64 // pack traffic skipped by resident-path GEMMs
+}
+
+var (
+	residentMu  sync.Mutex
+	residentVar *expvar.Map
+	residentFns = map[string]func() ResidentStats{}
+)
+
+// PublishResident registers a live stats callback under the process-wide
+// "cake_resident" expvar map. Re-publishing a name replaces its callback
+// (the previous engine is usually closed), so tests and engine restarts are
+// safe. The callback must be safe to call from any goroutine.
+func PublishResident(name string, fn func() ResidentStats) {
+	residentMu.Lock()
+	defer residentMu.Unlock()
+	if residentVar == nil {
+		residentVar = expvar.NewMap("cake_resident")
+	}
+	if _, ok := residentFns[name]; !ok {
+		n := name
+		residentVar.Set(n, expvar.Func(func() any {
+			residentMu.Lock()
+			fn := residentFns[n]
+			residentMu.Unlock()
+			if fn == nil {
+				return ResidentStats{}
+			}
+			return fn()
+		}))
+	}
+	residentFns[name] = fn
+}
+
+// residentSnapshots returns the registered stores' stats in deterministic
+// (sorted-name) order. The callbacks run outside the registry lock.
+func residentSnapshots() ([]string, []ResidentStats) {
+	residentMu.Lock()
+	names := make([]string, 0, len(residentFns))
+	for name := range residentFns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fns := make([]func() ResidentStats, len(names))
+	for i, name := range names {
+		fns[i] = residentFns[name]
+	}
+	residentMu.Unlock()
+	stats := make([]ResidentStats, len(fns))
+	for i, fn := range fns {
+		stats[i] = fn()
+	}
+	return names, stats
+}
+
+// writeResidentPrometheus renders the resident-store families; called from
+// WritePrometheus so /metrics carries them next to executor and engine
+// series.
+func writeResidentPrometheus(w io.Writer) {
+	names, stats := residentSnapshots()
+	if len(names) == 0 {
+		return
+	}
+	gauges := []struct {
+		family, help string
+		value        func(s ResidentStats) int64
+	}{
+		{"cake_resident_operands", "Operands currently resident.", func(s ResidentStats) int64 { return s.Entries }},
+		{"cake_resident_pinned", "Resident operands pinned by in-flight GEMMs.", func(s ResidentStats) int64 { return s.Pinned }},
+		{"cake_resident_bytes", "Resident packed-panel bytes.", func(s ResidentStats) int64 { return s.Bytes }},
+		{"cake_resident_budget_bytes", "Configured resident byte budget (0 = unlimited).", func(s ResidentStats) int64 { return s.Budget }},
+	}
+	for _, g := range gauges {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", g.family, g.help, g.family)
+		for i, name := range names {
+			fmt.Fprintf(w, "%s{engine=%q} %d\n", g.family, name, g.value(stats[i]))
+		}
+	}
+	counters := []struct {
+		family, help string
+		value        func(s ResidentStats) int64
+	}{
+		{"cake_resident_hits_total", "Resident operand acquisitions served.", func(s ResidentStats) int64 { return s.Hits }},
+		{"cake_resident_misses_total", "Resident operand acquisitions failed (evicted or unknown).", func(s ResidentStats) int64 { return s.Misses }},
+		{"cake_resident_evictions_total", "Resident operands lost to budget pressure.", func(s ResidentStats) int64 { return s.Evictions }},
+		{"cake_resident_avoided_pack_bytes_total", "Pack traffic skipped by resident-path GEMMs.", func(s ResidentStats) int64 { return s.AvoidedPackBytes }},
+	}
+	for _, c := range counters {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", c.family, c.help, c.family)
+		for i, name := range names {
+			fmt.Fprintf(w, "%s{engine=%q} %d\n", c.family, name, c.value(stats[i]))
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"expvar"
+	"strings"
+	"testing"
+)
+
+func TestPublishResidentExpvarAndReplace(t *testing.T) {
+	calls := 0
+	PublishResident("test-store", func() ResidentStats {
+		calls++
+		return ResidentStats{Entries: 3, Bytes: 4096}
+	})
+	v := expvar.Get("cake_resident")
+	if v == nil {
+		t.Fatal("cake_resident expvar not published")
+	}
+	s := v.String()
+	if !strings.Contains(s, "test-store") || !strings.Contains(s, "\"Bytes\":4096") {
+		t.Fatalf("cake_resident JSON missing fields: %s", s)
+	}
+	if calls == 0 {
+		t.Fatal("stats callback never ran")
+	}
+
+	// Re-publishing the same name swaps the callback (engine restart) with
+	// no duplicate-expvar panic and no stale closure.
+	PublishResident("test-store", func() ResidentStats { return ResidentStats{Entries: 9} })
+	if s := expvar.Get("cake_resident").String(); !strings.Contains(s, "\"Entries\":9") {
+		t.Fatalf("replaced callback not visible: %s", s)
+	}
+}
+
+func TestWritePrometheusResidentFamilies(t *testing.T) {
+	PublishResident("prom-store", func() ResidentStats {
+		return ResidentStats{
+			Entries: 2, Pinned: 1, Bytes: 1024, Budget: 4096,
+			Hits: 10, Misses: 3, Evictions: 2, AvoidedPackBytes: 777,
+		}
+	})
+	var b strings.Builder
+	writeResidentPrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE cake_resident_operands gauge",
+		`cake_resident_operands{engine="prom-store"} 2`,
+		`cake_resident_pinned{engine="prom-store"} 1`,
+		`cake_resident_bytes{engine="prom-store"} 1024`,
+		`cake_resident_budget_bytes{engine="prom-store"} 4096`,
+		"# TYPE cake_resident_hits_total counter",
+		`cake_resident_hits_total{engine="prom-store"} 10`,
+		`cake_resident_misses_total{engine="prom-store"} 3`,
+		`cake_resident_evictions_total{engine="prom-store"} 2`,
+		`cake_resident_avoided_pack_bytes_total{engine="prom-store"} 777`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// The resident families ride along in the full WritePrometheus render.
+	var full strings.Builder
+	WritePrometheus(&full)
+	if !strings.Contains(full.String(), "cake_resident_operands") {
+		t.Fatal("WritePrometheus does not include resident families")
+	}
+}

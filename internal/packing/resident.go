@@ -1,0 +1,103 @@
+// Resident-operand layout snapshot: a B operand packed once into the exact
+// per-CB-block panel grid the executors read, so serving paths can skip
+// PackB entirely (internal/engine/resident owns the lifetime; this file owns
+// the geometry). The layout is a pure function of the executor Config — the
+// store packs against it at registration and the executor verifies it at
+// dispatch, so a stale snapshot is an error, never a wrong answer.
+package packing
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// BGridLayout describes how a full K×N B operand decomposes into the packed
+// per-block buffers an executor reads. Blocks tile the operand BK×BN; within
+// a block the buffer is either one PackB image of the whole kEff×nEff cell
+// (Strip == 0, the DimN/DimM schedules — DimM's nc-wide sub-strips are
+// contiguous sub-ranges of that image because Validate forces MC%NR == 0) or
+// ceil(kEff/Strip) reduction strips of fixed stride PackedBSize(Strip, nEff,
+// NR) (the DimK schedule, Strip = KC).
+type BGridLayout struct {
+	K, N   int // logical operand extents
+	BK, BN int // CB-block extents along K and N
+	Strip  int // reduction-strip depth inside a block; 0 = single strip
+	NR     int // kernel panel width the cells are packed for
+}
+
+// Validate rejects geometry no executor could have produced.
+func (l BGridLayout) Validate() error {
+	if l.K <= 0 || l.N <= 0 || l.BK <= 0 || l.BN <= 0 || l.NR <= 0 {
+		return fmt.Errorf("packing: BGridLayout %+v has non-positive extent", l)
+	}
+	if l.Strip < 0 {
+		return fmt.Errorf("packing: BGridLayout strip %d < 0", l.Strip)
+	}
+	return nil
+}
+
+// Grid returns the block-grid extents: blocks along K, blocks along N.
+func (l BGridLayout) Grid() (kb, nb int) {
+	return ceilDiv(l.K, l.BK), ceilDiv(l.N, l.BN)
+}
+
+// CellSpan resolves grid cell (ki, ni) to element coordinates: the origin
+// and the clamped extents of the block, matching the executor's edge-block
+// clamping.
+func (l BGridLayout) CellSpan(ki, ni int) (k0, kEff, n0, nEff int) {
+	k0, n0 = ki*l.BK, ni*l.BN
+	return k0, min(l.BK, l.K-k0), n0, min(l.BN, l.N-n0)
+}
+
+// CellElems returns the packed buffer length of cell (ki, ni).
+func (l BGridLayout) CellElems(ki, ni int) int {
+	_, kEff, _, nEff := l.CellSpan(ki, ni)
+	if l.Strip <= 0 {
+		return PackedBSize(kEff, nEff, l.NR)
+	}
+	return ceilDiv(kEff, l.Strip) * PackedBSize(l.Strip, nEff, l.NR)
+}
+
+// TotalElems sums every cell's packed length — the resident footprint of the
+// whole operand in elements.
+func (l BGridLayout) TotalElems() int {
+	kb, nb := l.Grid()
+	total := 0
+	for ki := 0; ki < kb; ki++ {
+		for ni := 0; ni < nb; ni++ {
+			total += l.CellElems(ki, ni)
+		}
+	}
+	return total
+}
+
+// PackBCell packs grid cell (ki, ni) of the logical B operand into dst.
+// When transB, b holds Bᵀ (an N×K matrix) and the gather pays the strided
+// PackBT walk — once, at registration, which is the point of the resident
+// store. dst needs CellElems(ki, ni) elements; the used prefix is returned.
+func PackBCell[T matrix.Scalar](dst []T, b *matrix.Matrix[T], l BGridLayout, ki, ni int, transB bool) []T {
+	k0, kEff, n0, nEff := l.CellSpan(ki, ni)
+	need := l.CellElems(ki, ni)
+	if len(dst) < need {
+		panic(fmt.Sprintf("packing: PackBCell dst %d < %d", len(dst), need))
+	}
+	dst = dst[:need]
+	pack := func(off []T, kk0, depth int) {
+		if transB {
+			PackBT(off, b.View(n0, kk0, nEff, depth), l.NR)
+		} else {
+			PackB(off, b.View(kk0, n0, depth, nEff), l.NR)
+		}
+	}
+	if l.Strip <= 0 {
+		pack(dst, k0, kEff)
+		return dst
+	}
+	stride := PackedBSize(l.Strip, nEff, l.NR)
+	for s := 0; s*l.Strip < kEff; s++ {
+		depth := min(l.Strip, kEff-s*l.Strip)
+		pack(dst[s*stride:], k0+s*l.Strip, depth)
+	}
+	return dst
+}

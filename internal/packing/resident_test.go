@@ -1,0 +1,105 @@
+package packing
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestBGridLayoutGeometry(t *testing.T) {
+	l := BGridLayout{K: 50, N: 70, BK: 16, BN: 48, Strip: 0, NR: 8}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	kb, nb := l.Grid()
+	if kb != 4 || nb != 2 {
+		t.Fatalf("grid %dx%d, want 4x2", kb, nb)
+	}
+	// Interior cell: full extents.
+	if k0, kEff, n0, nEff := l.CellSpan(1, 0); k0 != 16 || kEff != 16 || n0 != 0 || nEff != 48 {
+		t.Fatalf("CellSpan(1,0) = %d,%d,%d,%d", k0, kEff, n0, nEff)
+	}
+	// Edge cell: clamped.
+	if _, kEff, _, nEff := l.CellSpan(3, 1); kEff != 2 || nEff != 22 {
+		t.Fatalf("edge cell %dx%d, want 2x22", kEff, nEff)
+	}
+	if got, want := l.CellElems(0, 0), PackedBSize(16, 48, 8); got != want {
+		t.Fatalf("CellElems(0,0) = %d, want %d", got, want)
+	}
+	// Strip layout: fixed stride per strip, ragged tail still charged whole.
+	ls := BGridLayout{K: 50, N: 70, BK: 32, BN: 48, Strip: 16, NR: 8}
+	if got, want := ls.CellElems(1, 0), 2*PackedBSize(16, 48, 8); got != want {
+		// Cell (1,·) spans K [32,50): 18 deep → two 16-deep strips.
+		t.Fatalf("strip CellElems = %d, want %d", got, want)
+	}
+	if ls.TotalElems() <= 0 {
+		t.Fatal("TotalElems must be positive")
+	}
+
+	if err := (BGridLayout{K: 0, N: 1, BK: 1, BN: 1, NR: 1}).Validate(); err == nil {
+		t.Fatal("zero K accepted")
+	}
+	if err := (BGridLayout{K: 1, N: 1, BK: 1, BN: 1, NR: 1, Strip: -1}).Validate(); err == nil {
+		t.Fatal("negative strip accepted")
+	}
+}
+
+// TestPackBCellMatchesPackB checks every cell's packed image against PackB
+// run on the same sub-block — the contract the executor's pack bypass
+// depends on.
+func TestPackBCellMatchesPackB(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	b := matrix.New[float64](50, 70)
+	b.Randomize(rng)
+	bt := matrix.New[float64](70, 50)
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 70; j++ {
+			bt.Data[j*bt.Stride+i] = b.At(i, j)
+		}
+	}
+	for _, l := range []BGridLayout{
+		{K: 50, N: 70, BK: 16, BN: 48, Strip: 0, NR: 8},
+		{K: 50, N: 70, BK: 32, BN: 24, Strip: 16, NR: 8},
+	} {
+		kb, nb := l.Grid()
+		for ki := 0; ki < kb; ki++ {
+			for ni := 0; ni < nb; ni++ {
+				k0, kEff, n0, nEff := l.CellSpan(ki, ni)
+				got := make([]float64, l.CellElems(ki, ni))
+				PackBCell(got, b, l, ki, ni, false)
+				gotT := make([]float64, l.CellElems(ki, ni))
+				PackBCell(gotT, bt, l, ki, ni, true)
+
+				want := make([]float64, l.CellElems(ki, ni))
+				if l.Strip <= 0 {
+					PackB(want, b.View(k0, n0, kEff, nEff), l.NR)
+				} else {
+					stride := PackedBSize(l.Strip, nEff, l.NR)
+					for s := 0; s*l.Strip < kEff; s++ {
+						depth := min(l.Strip, kEff-s*l.Strip)
+						PackB(want[s*stride:], b.View(k0+s*l.Strip, n0, depth, nEff), l.NR)
+					}
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("layout %+v cell (%d,%d): element %d = %v, want %v", l, ki, ni, i, got[i], want[i])
+					}
+					if gotT[i] != want[i] {
+						t.Fatalf("layout %+v cell (%d,%d) transposed: element %d = %v, want %v", l, ki, ni, i, gotT[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPackBCellShortDstPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short dst did not panic")
+		}
+	}()
+	l := BGridLayout{K: 16, N: 16, BK: 16, BN: 16, NR: 8}
+	PackBCell(make([]float64, 4), matrix.New[float64](16, 16), l, 0, 0, false)
+}

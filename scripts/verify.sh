@@ -37,6 +37,14 @@ go test -race -short ./...
 echo "== go test -race ./internal/pool ./internal/core ./internal/obs ./internal/engine ./internal/tenant"
 go test -race ./internal/pool ./internal/core ./internal/obs ./internal/engine ./internal/tenant
 
+# Resident-serving smoke: the pack-bypass benchmark must run end to end and
+# produce a well-formed BENCH_resident.json (the artifact the gate below
+# judges). Quick mode keeps it to a fraction of a second.
+echo "== cake-bench -quick resident"
+RESIDENT_TMP=$(mktemp -d)
+go run ./cmd/cake-bench -quick -csv "$RESIDENT_TMP" resident
+rm -rf "$RESIDENT_TMP"
+
 # Deterministic self-check of the benchmark regression gate: the committed
 # baseline compared against itself must always pass. Catches artifact-format
 # drift without benchmarking the (noisy) CI host.
