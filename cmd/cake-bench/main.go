@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cake-bench [flags] table2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|packshare|gemm|trace|tenant|serve|resident|all
+//	cake-bench [flags] table2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|packshare|gemm|trace|tenant|serve|resident|obs|all
 //
 // Flags:
 //
@@ -31,6 +31,11 @@
 // panels vs per-call weight packing, writing BENCH_resident.json (per-
 // shape GEMMs/s, latency percentiles, and the resident-vs-fresh speedup
 // the gate floors).
+//
+// The obs target measures the request-observability overhead: the same
+// serve-mix through an engine with the flight recorder + SLO layer on vs an
+// engine with Trace.Disable, writing BENCH_obs.json (per-side GEMMs/s and
+// the overhead fraction the gate caps at 2%).
 //
 // The check subcommand is a noise-aware regression gate: it diffs fresh
 // (or -candidate directory) benchmark artifacts against the committed
@@ -80,7 +85,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cake-bench [-quick] [-csv DIR] [-clients N] [-dur D] table2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|packshare|gemm|trace|tenant|serve|resident|all")
+	fmt.Fprintln(os.Stderr, "usage: cake-bench [-quick] [-csv DIR] [-clients N] [-dur D] table2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|packshare|gemm|trace|tenant|serve|resident|obs|all")
 	fmt.Fprintln(os.Stderr, "       cake-bench check [-baseline DIR] [-candidate DIR] [-runs N] [-threshold F] [-quick]")
 }
 
@@ -162,6 +167,17 @@ func runCheck(args []string, w io.Writer) error {
 			}
 			res.Findings = append(res.Findings, benchgate.CompareResident(baseRes, candRes, opt)...)
 		}
+		if _, statErr := os.Stat(filepath.Join(*baseline, "BENCH_obs.json")); statErr == nil {
+			baseObs, err := benchgate.LoadObs(filepath.Join(*baseline, "BENCH_obs.json"))
+			if err != nil {
+				return err
+			}
+			candObs, err := benchgate.FreshObs(cores, baseObs.Clients, *quick, opt.MinRuns)
+			if err != nil {
+				return err
+			}
+			res.Findings = append(res.Findings, benchgate.CompareObs(baseObs, candObs, opt)...)
+		}
 	}
 	res.Render(w)
 	if !res.OK() {
@@ -198,6 +214,10 @@ func updateBaseline(dir string, quick bool, runs int, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	obsRes, err := benchgate.BaselineObs(cores, clients, quick, runs)
+	if err != nil {
+		return err
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -209,6 +229,7 @@ func updateBaseline(dir string, quick bool, runs int, w io.Writer) error {
 		{"BENCH_bwtimeline.json", tl},
 		{"BENCH_serve.json", serve},
 		{"BENCH_resident.json", resident},
+		{"BENCH_obs.json", obsRes},
 	} {
 		data, err := json.MarshalIndent(art.v, "", "  ")
 		if err != nil {
@@ -233,6 +254,8 @@ func run(target string, quick bool, csvDir string, w io.Writer) error {
 		"tenant":    tenants,
 		"serve":     serveBench,
 		"resident":  residentBench,
+		"obs":       obsBench,
+		"smoke":     smoke,
 		"fig7":      fig7,
 		"fig8":      fig8,
 		"fig9":      fig9,
@@ -441,6 +464,51 @@ func residentBench(quick bool, csvDir string, w io.Writer) error {
 		res.Hits, res.Evictions, float64(res.ResidentBytes)/(1<<20), float64(res.AvoidedPackBytes)/(1<<20))
 
 	path := "BENCH_resident.json"
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		path = filepath.Join(csvDir, path)
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// obsBench measures the request-observability overhead A/B — flight
+// recorder + SLO layer on vs off on the same serve-mix — and writes
+// machine-readable BENCH_obs.json into csvDir (or the current directory).
+func obsBench(quick bool, csvDir string, w io.Writer) error {
+	clients := serveClients
+	if clients <= 0 {
+		clients = runtime.GOMAXPROCS(0)
+		if clients < 8 {
+			clients = 8
+		}
+	}
+	dur := serveDur
+	rounds := 3
+	if dur <= 0 {
+		dur = 2 * time.Second
+		if quick {
+			dur, rounds = time.Second, 2
+		}
+	}
+	res, err := experiments.ObsBench(runtime.GOMAXPROCS(0), clients, dur, rounds)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== obs: request-observability overhead, %d clients (%s), %s per side x%d rounds ==\n",
+		res.Clients, res.ClientMix, dur, res.Rounds)
+	fmt.Fprintf(w, "recorder on  %12.1f GEMMs/s (%d records committed)\n",
+		res.RecorderOnGemmsPerSec, res.RecorderRecords)
+	fmt.Fprintf(w, "recorder off %12.1f GEMMs/s\n", res.RecorderOffGemmsPerSec)
+	fmt.Fprintf(w, "overhead %.2f%% (gate ceiling %.0f%%)\n\n",
+		100*res.OverheadFrac, 100*benchgate.MaxObsOverhead)
+
+	path := "BENCH_obs.json"
 	if csvDir != "" {
 		if err := os.MkdirAll(csvDir, 0o755); err != nil {
 			return err

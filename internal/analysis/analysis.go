@@ -31,6 +31,9 @@
 //   - spanbytes: every obs.Span composite literal must set Bytes explicitly,
 //     so the §4.4 DRAM-traffic attribution is always a decision, never an
 //     omission.
+//   - reqoutcome: every reqtrace.Record composite literal must set Outcome
+//     explicitly — a request record whose outcome was never decided must be
+//     visible as unset, not silently zero.
 package analysis
 
 import (
@@ -87,6 +90,7 @@ func Suite() []*Analyzer {
 		HotPathAlloc,
 		LeaseBalance,
 		SpanBytes,
+		ReqOutcome,
 	}
 }
 

@@ -142,10 +142,12 @@ func checkLeases(pass *Pass, fn *ast.FuncDecl, leaseFuncs map[types.Object]bool)
 			return
 		}
 		l := &lease{pos: call.Pos(), vars: map[types.Object]bool{obj: true}}
-		// `x, err := lease()`: remember err so early `if err != nil` guards
-		// (where the resource is absent) are not reported as leaks.
-		if len(as.Lhs) == 2 {
-			if eid, ok := as.Lhs[1].(*ast.Ident); ok && eid.Name != "_" {
+		// `x, err := lease()` (any arity — the error is conventionally last,
+		// as in `x, reused, err := lease()`): remember err so early
+		// `if err != nil` guards (where the resource is absent) are not
+		// reported as leaks.
+		if len(as.Lhs) >= 2 {
+			if eid, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident); ok && eid.Name != "_" {
 				if eobj := pass.Info.Defs[eid]; eobj != nil {
 					l.errVar = eobj
 				} else {

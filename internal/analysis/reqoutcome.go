@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ReqOutcome is spanbytes' sibling for the request-lifecycle layer. A
+// reqtrace.Record's zero Outcome is deliberately OutcomeUnset — not OK — so
+// a producer that forgets to decide the outcome is visible in the flight
+// recorder instead of silently counting as a success. That design only
+// works if forgetting stays visible at the construction site too: Go
+// zero-initialises omitted struct fields, so a new Record literal without
+// Outcome compiles cleanly and every request it produces reports "unset"
+// until someone notices the dashboards. This analyzer makes the outcome a
+// decision instead of an omission: every reqtrace.Record composite literal
+// must mention Outcome explicitly (Outcome: reqtrace.OutcomeUnset is fine —
+// it says "a later assignment decides" out loud), or set every field
+// positionally.
+var ReqOutcome = &Analyzer{
+	Name: "reqoutcome",
+	Doc:  "requires every reqtrace.Record composite literal to set the Outcome field explicitly",
+	Run:  runReqOutcome,
+}
+
+func runReqOutcome(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[lit]
+			if !ok || !isRecordType(tv.Type) {
+				return true
+			}
+			if litSetsField(lit, "Outcome") {
+				return true
+			}
+			pass.Reportf(lit.Pos(),
+				"reqtrace.Record literal does not set Outcome; the request outcome must be explicit (use Outcome: reqtrace.OutcomeUnset when a later assignment decides it)")
+			return true
+		})
+	}
+	return nil
+}
+
+// isRecordType matches the reqtrace package's Record type. The package path
+// is matched by suffix so the fixture package's local reqtrace stand-in
+// exercises the same code path as the real internal/obs/reqtrace.
+func isRecordType(t types.Type) bool {
+	n, ok := unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Record" && obj.Pkg() != nil &&
+		(obj.Pkg().Path() == "repro/internal/obs/reqtrace" || strings.HasSuffix(obj.Pkg().Path(), "/reqtrace"))
+}
+
+// litSetsField reports whether a composite literal mentions the field by
+// key, or sets every field positionally (a positional literal that
+// type-checks is full, so the field is set).
+func litSetsField(lit *ast.CompositeLit, field string) bool {
+	sawKeyed := false
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		sawKeyed = true
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == field {
+			return true
+		}
+	}
+	return !sawKeyed && len(lit.Elts) > 0
+}

@@ -76,6 +76,34 @@ func goodErrGuard() (*scratch, error) {
 	return s, nil
 }
 
+// openTagged mints a lease with the (resource, detail, error) shape the
+// engine's executor leasing uses — the error is conventionally last.
+//
+//cake:lease
+func openTagged(fail bool) (*scratch, bool, error) {
+	if fail {
+		return nil, false, errBoom
+	}
+	return new(scratch), true, nil
+}
+
+func goodTaggedErrGuard() (*scratch, error) {
+	s, _, err := openTagged(false)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func badTaggedDropped(fail bool) error {
+	s, _, err := openTagged(fail)
+	if err != nil {
+		return err
+	}
+	_ = s
+	return nil // want `return without releasing`
+}
+
 func badDropped() {
 	s := lease() // want `not released or returned`
 	s.Work()

@@ -1,0 +1,35 @@
+// Package reqoutcome seeds violations for the reqoutcome analyzer: every
+// reqtrace.Record composite literal must set the Outcome field explicitly
+// (Outcome: reqtrace.OutcomeUnset is a decision — "a later assignment
+// decides"; an omitted Outcome is a request that silently reports unset
+// forever).
+package reqoutcome
+
+import "repro/internal/obs/reqtrace"
+
+func goodKeyed(id uint64) reqtrace.Record {
+	return reqtrace.Record{ID: id, Tier: "tiny", Outcome: reqtrace.OutcomeOK}
+}
+
+func goodUnsetOnPurpose(id uint64) reqtrace.Record {
+	return reqtrace.Record{ID: id, Outcome: reqtrace.OutcomeUnset}
+}
+
+func goodFailure(id uint64, msg string) reqtrace.Record {
+	return reqtrace.Record{ID: id, Outcome: reqtrace.OutcomeSaturated, Err: msg}
+}
+
+func badMissingOutcome(id uint64) reqtrace.Record {
+	return reqtrace.Record{ID: id, Tier: "large"} // want `does not set Outcome`
+}
+
+func badEmpty() reqtrace.Record {
+	return reqtrace.Record{} // want `does not set Outcome`
+}
+
+func badNested(id uint64) []reqtrace.Record {
+	return []reqtrace.Record{
+		{ID: id, Outcome: reqtrace.OutcomeOK},
+		{ID: id + 1, Tier: "small"}, // want `does not set Outcome`
+	}
+}

@@ -248,6 +248,18 @@ func CompareDirs(baseDir, candDir string, opt Options) (Result, error) {
 		}
 		res.Findings = append(res.Findings, CompareResident(br, cr, opt)...)
 	}
+	// Obs (request-observability overhead) likewise.
+	if _, err := os.Stat(filepath.Join(baseDir, "BENCH_obs.json")); err == nil {
+		bo, err := LoadObs(filepath.Join(baseDir, "BENCH_obs.json"))
+		if err != nil {
+			return Result{}, err
+		}
+		co, err := LoadObs(filepath.Join(candDir, "BENCH_obs.json"))
+		if err != nil {
+			return Result{}, err
+		}
+		res.Findings = append(res.Findings, CompareObs(bo, co, opt)...)
+	}
 	return res, nil
 }
 

@@ -1,0 +1,131 @@
+package benchgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// MaxObsOverhead is the absolute ceiling on the request-observability
+// layer's throughput cost: the flight recorder + SLO accounting must stay
+// under 2% of serving throughput — the same bar the nil-recorder fast path
+// meets. Absolute (not relative to the baseline file) because the overhead
+// fraction is itself the claim under test; the margin over typical healthy
+// measurements (well under 1%) absorbs timer noise.
+const MaxObsOverhead = 0.02
+
+// LoadObs reads a BENCH_obs.json.
+func LoadObs(path string) (experiments.ObsBenchResult, error) {
+	var r experiments.ObsBenchResult
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("benchgate: %s: %w", path, err)
+	}
+	if r.RecorderOffGemmsPerSec <= 0 {
+		return r, fmt.Errorf("benchgate: %s has no recorder-off measurement", path)
+	}
+	return r, nil
+}
+
+// CompareObs judges a candidate obs benchmark. Gated metrics: the recorder
+// overhead fraction (absolute ≤ MaxObsOverhead) and the recorder-on
+// throughput (relative threshold vs baseline, so the layer cannot slow the
+// serving path even while staying within its own A/B budget). The candidate
+// must also have actually recorded requests — an A/B against a silently
+// disabled recorder proves nothing.
+func CompareObs(base, cand experiments.ObsBenchResult, opt Options) []Finding {
+	var out []Finding
+
+	out = append(out, Finding{
+		File: "BENCH_obs.json", Key: "recorder/overhead", Metric: "overhead_frac",
+		Base: base.OverheadFrac, Candidate: cand.OverheadFrac, Limit: MaxObsOverhead,
+		Regression: cand.OverheadFrac > MaxObsOverhead,
+		Detail:     "flight recorder + SLO cost over recorder-off serving (absolute ceiling)",
+	})
+
+	limit := base.RecorderOnGemmsPerSec * (1 - opt.Threshold)
+	out = append(out, Finding{
+		File: "BENCH_obs.json", Key: "recorder-on/total", Metric: "gemms_per_sec",
+		Base: base.RecorderOnGemmsPerSec, Candidate: cand.RecorderOnGemmsPerSec, Limit: limit,
+		Regression: cand.RecorderOnGemmsPerSec < limit,
+		Detail:     fmt.Sprintf("allowed drop %.0f%%", 100*opt.Threshold),
+	})
+
+	out = append(out, Finding{
+		File: "BENCH_obs.json", Key: "recorder/records", Metric: "recorder_records",
+		Base: float64(base.RecorderRecords), Candidate: float64(cand.RecorderRecords), Limit: 1,
+		Regression: cand.RecorderRecords < 1,
+		Detail:     "recorder-on side must actually commit request records",
+	})
+	return out
+}
+
+// sampleObs runs the obs benchmark `runs` times.
+func sampleObs(cores, clients int, quick bool, runs int) ([]*experiments.ObsBenchResult, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	dur, rounds := 2*time.Second, 3
+	if quick {
+		dur, rounds = time.Second, 2
+	}
+	out := make([]*experiments.ObsBenchResult, 0, runs)
+	for i := 0; i < runs; i++ {
+		r, err := experiments.ObsBench(cores, clients, dur, rounds)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// FreshObs measures the candidate side: the run with the lowest overhead
+// fraction — contention noise only inflates the measured overhead, so the
+// best run estimates the layer's true cost.
+func FreshObs(cores, clients int, quick bool, runs int) (experiments.ObsBenchResult, error) {
+	return pickObs(cores, clients, quick, runs, func(a, b *experiments.ObsBenchResult) bool {
+		return a.OverheadFrac < b.OverheadFrac
+	})
+}
+
+// BaselineObs measures the baseline side: among runs that themselves pass
+// the absolute overhead ceiling, the one with the worst recorder-on
+// throughput, so the committed reference is a floor every healthy run beats
+// AND a valid artifact under its own gate (`check -candidate
+// results/baseline` replays the baseline as the candidate, ceiling
+// included). If contention noise pushes every run over the ceiling, fall
+// back to the lowest-overhead run — the closest thing to the layer's true
+// cost the host can measure.
+func BaselineObs(cores, clients int, quick bool, runs int) (experiments.ObsBenchResult, error) {
+	return pickObs(cores, clients, quick, runs, func(a, b *experiments.ObsBenchResult) bool {
+		aOK, bOK := a.OverheadFrac <= MaxObsOverhead, b.OverheadFrac <= MaxObsOverhead
+		if aOK != bOK {
+			return aOK
+		}
+		if !aOK {
+			return a.OverheadFrac < b.OverheadFrac
+		}
+		return a.RecorderOnGemmsPerSec < b.RecorderOnGemmsPerSec
+	})
+}
+
+func pickObs(cores, clients int, quick bool, runs int, better func(a, b *experiments.ObsBenchResult) bool) (experiments.ObsBenchResult, error) {
+	samples, err := sampleObs(cores, clients, quick, runs)
+	if err != nil {
+		return experiments.ObsBenchResult{}, err
+	}
+	pick := samples[0]
+	for _, s := range samples[1:] {
+		if better(s, pick) {
+			pick = s
+		}
+	}
+	return *pick, nil
+}

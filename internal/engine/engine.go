@@ -28,12 +28,14 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 	"unsafe"
 
 	"repro/internal/core"
 	"repro/internal/engine/resident"
 	"repro/internal/matrix"
 	"repro/internal/obs"
+	"repro/internal/obs/reqtrace"
 	"repro/internal/platform"
 	"repro/internal/pool"
 	"repro/internal/tenant"
@@ -99,6 +101,10 @@ type Options struct {
 	// eviction of unpinned operands. 0 means DefaultResidentBudget; negative
 	// disables the budget (nothing is ever evicted).
 	ResidentBudgetBytes int64
+	// Trace configures the request-lifecycle observability layer (flight
+	// recorder ring, anomaly snapshots, SLO objectives). The zero value
+	// enables it with defaults; set Trace.Disable to run without it.
+	Trace reqtrace.Options
 }
 
 // tierSpec is one tier's static slice of the machine: its core demand and
@@ -133,6 +139,7 @@ type Engine struct {
 	tiers      [tierCount]tierSpec
 	panelSlots int             // large-tier panel cache (core.WithPanelCache), set once at construction
 	resident   *resident.Store // cross-request pre-packed operands (RegisterB)
+	trace      *reqtrace.Tracer
 
 	mu       sync.Mutex
 	free     int
@@ -219,12 +226,27 @@ func NewEngine(opts Options) (*Engine, error) {
 	e.resident = resident.New(budget)
 
 	e.pool = pool.New(pl.Cores)
+	e.trace = reqtrace.New(name, opts.Trace)
+	reqtrace.Publish(e.trace)
+	e.resident.SetEvictHook(func(id string, bytes int64) {
+		reqtrace.L().Info("resident operand evicted",
+			"engine", name, "operand", id, "bytes", bytes)
+	})
 	obs.PublishEngine(name, e.Counters)
 	obs.PublishResident(name, func() obs.ResidentStats {
 		return residentStatsFor(e.resident.Stats())
 	})
+	reqtrace.L().Info("engine started",
+		"engine", name, "cores", pl.Cores,
+		"small_cores", e.tiers[TierSmall].cores, "large_cores", e.tiers[TierLarge].cores,
+		"max_queue", opts.MaxQueue, "trace", e.trace != nil)
 	return e, nil
 }
+
+// Tracer returns the engine's request-lifecycle tracer (nil when Options
+// disabled it). Tests and hosts use it to read the flight recorder and SLO
+// state directly; the debug endpoints reach it through reqtrace.Publish.
+func (e *Engine) Tracer() *reqtrace.Tracer { return e.trace }
 
 // tierPlanShape picks the representative problem each tier's config is
 // planned for: tiny never plans (direct path), small uses the largest shape
@@ -363,6 +385,7 @@ func (e *Engine) Close() {
 	}
 	e.resident.Close()
 	e.pool.Close()
+	reqtrace.L().Info("engine closed", "engine", e.name, "drained_waiters", len(ws))
 }
 
 // cachesOf selects the engine's lease caches for the scalar type.
@@ -376,15 +399,17 @@ func cachesOf[T matrix.Scalar](e *Engine) *typedCaches[T] {
 
 // leaseExecutor takes a tier executor from the cache or builds one on the
 // engine's shared pool (so leased executors own no goroutines and cold
-// cache entries can be dropped by the GC without leaking workers). Callers
-// own the lease: Put it back on success, Close it on failure.
+// cache entries can be dropped by the GC without leaking workers). The
+// reused result reports whether the lease came warm from the pool (the
+// request record carries it). Callers own the lease: Put it back on
+// success, Close it on failure.
 //
 //cake:lease
-func leaseExecutor[T matrix.Scalar](e *Engine, t Tier) (*core.Executor[T], error) {
+func leaseExecutor[T matrix.Scalar](e *Engine, t Tier) (ex *core.Executor[T], reused bool, err error) {
 	tc := cachesOf[T](e)
 	if v := tc.execs[t].Get(); v != nil {
 		e.leaseReused.Add(1)
-		return v.(*core.Executor[T]), nil
+		return v.(*core.Executor[T]), true, nil
 	}
 	e.leaseNew.Add(1)
 	cfg := e.TierConfig(t, int(unsafe.Sizeof(*new(T))))
@@ -392,7 +417,8 @@ func leaseExecutor[T matrix.Scalar](e *Engine, t Tier) (*core.Executor[T], error
 	if t == TierLarge && e.panelSlots > 0 {
 		opts = append(opts, core.WithPanelCache(e.panelSlots))
 	}
-	return core.NewExecutor[T](cfg, e.pool, opts...)
+	ex, err = core.NewExecutor[T](cfg, e.pool, opts...)
+	return ex, false, err
 }
 
 // Gemm computes C += A×B through the engine.
@@ -409,6 +435,20 @@ func GemmT[T matrix.Scalar](e *Engine, c, a, b *matrix.Matrix[T], transA, transB
 // it against the core partition, run it down its tier's path on leased
 // state. Safe for any number of concurrent callers.
 func GemmScaled[T matrix.Scalar](e *Engine, c, a, b *matrix.Matrix[T], transA, transB bool, alpha, beta T) (core.Stats, error) {
+	return GemmScaledFor(e, "", c, a, b, transA, transB, alpha, beta)
+}
+
+// GemmScaledFor is GemmScaled with a tenant label: the label rides on the
+// request record and routes the request into any per-tenant SLO objectives
+// declared in Options.Trace. An empty label is the anonymous tenant.
+func GemmScaledFor[T matrix.Scalar](e *Engine, tenantLabel string, c, a, b *matrix.Matrix[T], transA, transB bool, alpha, beta T) (core.Stats, error) {
+	start := time.Now()
+	rec := reqtrace.Record{
+		ID:      e.trace.NextID(),
+		StartNs: start.UnixNano(),
+		Tenant:  tenantLabel,
+		Outcome: reqtrace.OutcomeUnset,
+	}
 	m, k := a.Rows, a.Cols
 	if transA {
 		m, k = k, m
@@ -418,21 +458,60 @@ func GemmScaled[T matrix.Scalar](e *Engine, c, a, b *matrix.Matrix[T], transA, t
 		kb, n = n, kb
 	}
 	if k != kb || c.Rows != m || c.Cols != n {
-		return core.Stats{}, fmt.Errorf("engine: invalid GEMM dims C[%dx%d] = op(A)[%dx%d] x op(B)[%dx%d]",
+		err := fmt.Errorf("engine: invalid GEMM dims C[%dx%d] = op(A)[%dx%d] x op(B)[%dx%d]",
 			c.Rows, c.Cols, m, k, kb, n)
+		e.finishRecord(&rec, start, core.Stats{}, err)
+		return core.Stats{}, err
 	}
+	rec.M, rec.K, rec.N = int32(m), int32(k), int32(n)
 	elemBytes := int(unsafe.Sizeof(*new(T)))
 	t := e.TierFor(m, k, n, elemBytes)
+	rec.Tier = t.String()
 	e.tierHits[t].Add(1)
 
+	var st core.Stats
+	var err error
 	if t == TierTiny {
-		return runDirect(e, func(d *DirectScratch[T]) (core.Stats, error) {
+		st, err = runDirect(e, &rec, func(d *DirectScratch[T]) (core.Stats, error) {
 			return d.GemmScaled(c, a, b, transA, transB, alpha, beta)
 		})
+	} else {
+		st, err = runPooled(e, t, &rec, func(ex *core.Executor[T]) (core.Stats, error) {
+			return ex.GemmScaled(c, a, b, transA, transB, alpha, beta)
+		})
 	}
-	return runPooled(e, t, func(ex *core.Executor[T]) (core.Stats, error) {
-		return ex.GemmScaled(c, a, b, transA, transB, alpha, beta)
-	})
+	e.finishRecord(&rec, start, st, err)
+	return st, err
+}
+
+// outcomeOf maps an engine error onto the record's outcome class.
+func outcomeOf(err error) reqtrace.Outcome {
+	switch {
+	case err == nil:
+		return reqtrace.OutcomeOK
+	case errors.Is(err, ErrSaturated):
+		return reqtrace.OutcomeSaturated
+	case errors.Is(err, ErrClosed):
+		return reqtrace.OutcomeClosed
+	case errors.Is(err, resident.ErrOperandEvicted):
+		return reqtrace.OutcomeEvicted
+	default:
+		return reqtrace.OutcomeError
+	}
+}
+
+// finishRecord stamps the terminal fields (duration, phase times, outcome)
+// and commits the record to the flight recorder. One call per engine
+// request, on every exit path.
+func (e *Engine) finishRecord(rec *reqtrace.Record, start time.Time, st core.Stats, err error) {
+	rec.DurNs = time.Since(start).Nanoseconds()
+	rec.PackNs = st.PackNanos
+	rec.ComputeNs = st.ComputeNanos
+	rec.Outcome = outcomeOf(err)
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	e.trace.Finish(*rec)
 }
 
 // directTileDim is the register tile the tiny tier's direct path runs with
@@ -444,8 +523,9 @@ const directTileDim = 8
 // the tiny tier. The direct path never touches the shared worker pool, so it
 // holds no core slice and skips admission entirely: queueing a few
 // microseconds of register-tile work behind multi-millisecond CB runs would
-// defeat the tier.
-func runDirect[T matrix.Scalar](e *Engine, fn func(d *DirectScratch[T]) (core.Stats, error)) (core.Stats, error) {
+// defeat the tier. rec picks up the lease provenance; admission fields stay
+// zero (the tier never queues).
+func runDirect[T matrix.Scalar](e *Engine, rec *reqtrace.Record, fn func(d *DirectScratch[T]) (core.Stats, error)) (core.Stats, error) {
 	if e.closedFast.Load() {
 		return core.Stats{}, ErrClosed
 	}
@@ -455,9 +535,11 @@ func runDirect[T matrix.Scalar](e *Engine, fn func(d *DirectScratch[T]) (core.St
 	var d *DirectScratch[T]
 	if v := tc.direct.Get(); v != nil {
 		e.leaseReused.Add(1)
+		rec.Lease = reqtrace.LeaseReused
 		d = v.(*DirectScratch[T])
 	} else {
 		e.leaseNew.Add(1)
+		rec.Lease = reqtrace.LeaseNew
 		d = NewDirectScratch[T](directTileDim, directTileDim)
 	}
 	// Return the scratch on every exit, error and panic paths included:
@@ -479,9 +561,14 @@ func runDirect[T matrix.Scalar](e *Engine, fn func(d *DirectScratch[T]) (core.St
 }
 
 // runPooled admits a request on tier t's core slice and runs fn on a leased
-// executor.
-func runPooled[T matrix.Scalar](e *Engine, t Tier, fn func(ex *core.Executor[T]) (core.Stats, error)) (core.Stats, error) {
-	if err := e.acquire(e.tiers[t].cores); err != nil {
+// executor. rec picks up the admission evidence (queue depth at entry, wait
+// time) and the lease provenance.
+func runPooled[T matrix.Scalar](e *Engine, t Tier, rec *reqtrace.Record, fn func(ex *core.Executor[T]) (core.Stats, error)) (core.Stats, error) {
+	rec.QueueDepth = int32(e.queued.Load())
+	admitStart := time.Now()
+	err := e.acquire(e.tiers[t].cores)
+	rec.AdmitWaitNs = time.Since(admitStart).Nanoseconds()
+	if err != nil {
 		return core.Stats{}, err
 	}
 	e.inFlight.Add(1)
@@ -490,9 +577,14 @@ func runPooled[T matrix.Scalar](e *Engine, t Tier, fn func(ex *core.Executor[T])
 		e.release(e.tiers[t].cores)
 	}()
 
-	ex, err := leaseExecutor[T](e, t)
+	ex, reused, err := leaseExecutor[T](e, t)
 	if err != nil {
 		return core.Stats{}, err
+	}
+	if reused {
+		rec.Lease = reqtrace.LeaseReused
+	} else {
+		rec.Lease = reqtrace.LeaseNew
 	}
 	// Settle the lease in a defer so a panic inside the run (packing layout
 	// guards panic by design) cannot drop the executor: cache it after a

@@ -71,6 +71,19 @@ type Store struct {
 
 	hits, misses, evictions int64
 	avoidedBytes            int64
+
+	evictHook func(id string, bytes int64)
+}
+
+// SetEvictHook installs fn, invoked once per LRU eviction with the victim's
+// id and byte footprint. The hook runs outside the store lock (after the
+// Register call that evicted), so it may log or count freely, but the
+// eviction is already final when it runs. The engine uses it for structured
+// eviction logging.
+func (s *Store) SetEvictHook(fn func(id string, bytes int64)) {
+	s.mu.Lock()
+	s.evictHook = fn
+	s.mu.Unlock()
 }
 
 // New builds a store with the given byte budget; budget ≤ 0 disables the
@@ -92,30 +105,45 @@ func (s *Store) Register(id string, payload any, bytes int64) error {
 	if bytes < 0 {
 		bytes = 0
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
-	}
-	if _, ok := s.entries[id]; ok {
-		return fmt.Errorf("%w: %q", ErrExists, id)
-	}
-	for s.budget > 0 && s.bytes+bytes > s.budget {
-		victim := s.oldestUnpinned()
-		if victim == nil {
-			return fmt.Errorf("%w: %q needs %d bytes, %d of %d already held by pinned operands",
-				ErrBudget, id, bytes, s.bytes, s.budget)
+	// Evictions are reported to the hook outside the lock, after they are
+	// final — so the hook can log or call anything without deadlocking
+	// against the store.
+	var victims []*entry
+	var hook func(string, int64)
+	err := func() error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		hook = s.evictHook
+		if s.closed {
+			return ErrClosed
 		}
-		s.evictLocked(victim)
+		if _, ok := s.entries[id]; ok {
+			return fmt.Errorf("%w: %q", ErrExists, id)
+		}
+		for s.budget > 0 && s.bytes+bytes > s.budget {
+			victim := s.oldestUnpinned()
+			if victim == nil {
+				return fmt.Errorf("%w: %q needs %d bytes, %d of %d already held by pinned operands",
+					ErrBudget, id, bytes, s.bytes, s.budget)
+			}
+			s.evictLocked(victim)
+			victims = append(victims, victim)
+		}
+		e := &entry{id: id, payload: payload, bytes: bytes}
+		e.elem = s.lru.PushFront(e)
+		s.entries[id] = e
+		s.bytes += bytes
+		// A re-registration heals the eviction: later Acquires should hit, not
+		// report the stale tombstone.
+		delete(s.evicted, id)
+		return nil
+	}()
+	if hook != nil {
+		for _, v := range victims {
+			hook(v.id, v.bytes)
+		}
 	}
-	e := &entry{id: id, payload: payload, bytes: bytes}
-	e.elem = s.lru.PushFront(e)
-	s.entries[id] = e
-	s.bytes += bytes
-	// A re-registration heals the eviction: later Acquires should hit, not
-	// report the stale tombstone.
-	delete(s.evicted, id)
-	return nil
+	return err
 }
 
 // oldestUnpinned walks the LRU list back-to-front for an evictable victim.

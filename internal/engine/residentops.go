@@ -10,6 +10,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"time"
 	"unsafe"
 
 	"repro/internal/core"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/matrix"
 	"repro/internal/obs"
+	"repro/internal/obs/reqtrace"
 	"repro/internal/packing"
 )
 
@@ -175,13 +177,36 @@ func GemmResident[T matrix.Scalar](e *Engine, c, a *matrix.Matrix[T], id string)
 // (it cannot be evicted or freed mid-run), classified by the same tier
 // arithmetic as GemmScaled, and served from the tier's pre-packed panels.
 func GemmResidentScaled[T matrix.Scalar](e *Engine, c, a *matrix.Matrix[T], id string, transA bool, alpha, beta T) (core.Stats, error) {
+	return GemmResidentScaledFor(e, "", c, a, id, transA, alpha, beta)
+}
+
+// GemmResidentScaledFor is GemmResidentScaled with a tenant label (see
+// GemmScaledFor). The request record additionally carries the resident
+// operand id and whether the panel pin hit or missed.
+func GemmResidentScaledFor[T matrix.Scalar](e *Engine, tenantLabel string, c, a *matrix.Matrix[T], id string, transA bool, alpha, beta T) (core.Stats, error) {
+	start := time.Now()
+	rec := reqtrace.Record{
+		ID:         e.trace.NextID(),
+		StartNs:    start.UnixNano(),
+		Tenant:     tenantLabel,
+		ResidentID: id,
+		Outcome:    reqtrace.OutcomeUnset,
+	}
+	st, err := gemmResident(e, &rec, c, a, id, transA, alpha, beta)
+	e.finishRecord(&rec, start, st, err)
+	return st, err
+}
+
+func gemmResident[T matrix.Scalar](e *Engine, rec *reqtrace.Record, c, a *matrix.Matrix[T], id string, transA bool, alpha, beta T) (core.Stats, error) {
 	if e.closedFast.Load() {
 		return core.Stats{}, ErrClosed
 	}
 	h, err := acquireOperand[T](e, id)
 	if err != nil {
+		rec.Resident = reqtrace.ResidentMiss
 		return core.Stats{}, err
 	}
+	rec.Resident = reqtrace.ResidentHit
 	defer h.Release()
 	op := h.op
 
@@ -193,6 +218,7 @@ func GemmResidentScaled[T matrix.Scalar](e *Engine, c, a *matrix.Matrix[T], id s
 		return core.Stats{}, fmt.Errorf("engine: invalid GEMM dims C[%dx%d] = op(A)[%dx%d] x residentB[%dx%d] (%q)",
 			c.Rows, c.Cols, m, k, op.k, op.n, id)
 	}
+	rec.M, rec.K, rec.N = int32(m), int32(k), int32(op.n)
 	elemBytes := int(unsafe.Sizeof(*new(T)))
 	t := e.TierFor(m, k, op.n, elemBytes)
 	// TierFor's arithmetic guarantees the tier's layout was packed (see
@@ -204,11 +230,12 @@ func GemmResidentScaled[T matrix.Scalar](e *Engine, c, a *matrix.Matrix[T], id s
 	if t == TierSmall && op.small == nil {
 		t = TierLarge
 	}
+	rec.Tier = t.String()
 	e.tierHits[t].Add(1)
 
 	var st core.Stats
 	if t == TierTiny {
-		st, err = runDirect(e, func(d *DirectScratch[T]) (core.Stats, error) {
+		st, err = runDirect(e, rec, func(d *DirectScratch[T]) (core.Stats, error) {
 			return d.GemmResident(c, a, op.tiny, op.k, op.n, transA, alpha, beta)
 		})
 	} else {
@@ -216,7 +243,7 @@ func GemmResidentScaled[T matrix.Scalar](e *Engine, c, a *matrix.Matrix[T], id s
 		if t == TierSmall {
 			rb = op.small
 		}
-		st, err = runPooled(e, t, func(ex *core.Executor[T]) (core.Stats, error) {
+		st, err = runPooled(e, t, rec, func(ex *core.Executor[T]) (core.Stats, error) {
 			return ex.GemmResident(c, a, rb, transA, alpha, beta)
 		})
 	}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gotoalg"
 	"repro/internal/obs"
+	"repro/internal/obs/reqtrace"
 )
 
 // Tolerances configures how strictly Evaluate judges a run.
@@ -127,8 +128,20 @@ func (r *Report) Failed() []Check {
 	return out
 }
 
-// Publish makes this report the one served on /debug/conformance.json.
-func (r *Report) Publish() { obs.SetConformance(r) }
+// Publish makes this report the one served on /debug/conformance.json. A
+// failing report additionally freezes a flight-recorder snapshot on every
+// published request tracer (reason "conformance"): the requests the engine
+// was serving when the model check failed are the evidence worth keeping.
+func (r *Report) Publish() {
+	obs.SetConformance(r)
+	if !r.Pass {
+		detail := fmt.Sprintf("%s %dx%dx%d:", r.Executor, r.M, r.K, r.N)
+		for _, c := range r.Failed() {
+			detail += " " + c.Name
+		}
+		reqtrace.NotifyConformanceFailure(detail)
+	}
+}
 
 // Evaluate judges one traced run against the model.
 func Evaluate(in Input) (*Report, error) {

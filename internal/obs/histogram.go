@@ -81,6 +81,9 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if rank < 1 {
 		rank = 1
 	}
+	if rank > total {
+		rank = total
+	}
 	var cum int64
 	for i := 0; i < histBucketCount; i++ {
 		cum += h.counts[i].Load()

@@ -115,6 +115,67 @@ func TestHistogramOverflowQuantileIsInf(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileEdges pins the quantile behaviour the reqtrace rolling
+// p99 depends on: an empty histogram reports 0 (not NaN or a bucket bound), a
+// single-bucket population reports that bucket's upper bound at every
+// quantile, and a histogram whose mass sits in the overflow bucket reports
+// +Inf — the signal reqtrace stores as MaxInt64 to silence the latency
+// anomaly rather than tripping on every request.
+func TestHistogramQuantileEdges(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		var h Histogram
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			if got := h.Quantile(q); got != 0 {
+				t.Fatalf("empty Quantile(%g) = %g, want 0", q, got)
+			}
+		}
+		if h.P99() != 0 {
+			t.Fatalf("empty P99 = %g, want 0", h.P99())
+		}
+	})
+
+	t.Run("single-bucket", func(t *testing.T) {
+		var h Histogram
+		// All observations land in the bucket bounded by 1024ns.
+		for i := 0; i < 1000; i++ {
+			h.Observe(600)
+		}
+		bound := float64(HistBucketBound(histBucket(600)))
+		for _, q := range []float64{0.01, 0.5, 0.95, 0.99, 1} {
+			if got := h.Quantile(q); got != bound {
+				t.Fatalf("single-bucket Quantile(%g) = %g, want %g", q, got, bound)
+			}
+		}
+	})
+
+	t.Run("saturated-top-bucket", func(t *testing.T) {
+		var h Histogram
+		// 2% of mass in the overflow bucket puts p99 past every finite bound.
+		for i := 0; i < 98; i++ {
+			h.Observe(100)
+		}
+		h.Observe(math.MaxInt64)
+		h.Observe(math.MaxInt64)
+		if p99 := h.P99(); !math.IsInf(p99, 1) {
+			t.Fatalf("saturated-top p99 = %g, want +Inf", p99)
+		}
+		// Lower quantiles stay finite: the overflow mass is only the tail.
+		if p50 := h.P50(); math.IsInf(p50, 1) || p50 <= 0 {
+			t.Fatalf("saturated-top p50 = %g, want finite positive", p50)
+		}
+	})
+
+	t.Run("quantile-bounds-clamp", func(t *testing.T) {
+		var h Histogram
+		h.Observe(100)
+		lo, hi := h.Quantile(-1), h.Quantile(2)
+		if lo != h.Quantile(0) || hi != h.Quantile(1) {
+			t.Fatalf("out-of-range quantiles = %g/%g, want clamped to %g/%g",
+				lo, hi, h.Quantile(0), h.Quantile(1))
+		}
+	})
+}
+
 func TestHistogramExpvarJSON(t *testing.T) {
 	var h Histogram
 	h.Observe(300)

@@ -176,4 +176,34 @@ func WritePrometheus(w io.Writer) {
 
 	writeEnginePrometheus(w)
 	writeResidentPrometheus(w)
+
+	promMu.Lock()
+	hooks := make([]func(io.Writer), len(promHooks))
+	for i, name := range promNames {
+		hooks[i] = promHooks[name]
+	}
+	promMu.Unlock()
+	for _, hook := range hooks {
+		hook(w)
+	}
+}
+
+var (
+	promMu    sync.Mutex
+	promNames []string // registration order, for stable scrape layout
+	promHooks = map[string]func(io.Writer){}
+)
+
+// RegisterPrometheus contributes extra metric families to WritePrometheus
+// (and therefore /metrics). Packages above obs in the dependency graph
+// (reqtrace, future serving layers) register a writer under a unique name —
+// typically from init() — and it runs after the built-in families on every
+// scrape. Re-registering a name replaces its writer, keeping its position.
+func RegisterPrometheus(name string, write func(io.Writer)) {
+	promMu.Lock()
+	defer promMu.Unlock()
+	if _, ok := promHooks[name]; !ok {
+		promNames = append(promNames, name)
+	}
+	promHooks[name] = write
 }

@@ -1,0 +1,289 @@
+package reqtrace
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Debug-server and metrics exports. The package contributes its endpoints
+// and Prometheus families to the obs debug server through the obs
+// registries at init time, so any binary that links an engine (engine
+// imports reqtrace) gets /debug/requests.json, /debug/slo.json and
+// /debug/snapshots.json mounted on the next obs.DebugHandler — no wiring in
+// the host. The expvar "cake_slo" map appears once the first tracer is
+// published.
+
+func init() {
+	obs.HandleDebug("/debug/requests.json",
+		"flight recorder: recent request records (?reqid=N, ?engine=name, ?n=K)",
+		http.HandlerFunc(serveRequests))
+	obs.HandleDebug("/debug/slo.json",
+		"SLO burn rates and error-budget remaining (?engine=name)",
+		http.HandlerFunc(serveSLO))
+	obs.HandleDebug("/debug/snapshots.json",
+		"frozen flight-recorder snapshots from anomaly trips (?engine=name)",
+		http.HandlerFunc(serveSnapshots))
+	obs.RegisterPrometheus("reqtrace", WritePrometheus)
+}
+
+// registerTraceSource links the tracer's ring into the Chrome-trace export:
+// /debug/trace.json grows a "requests/<engine>" process with one lane per
+// tier whose request spans render as parent tracks over the per-worker
+// phase spans. Admission waits longer than a microsecond appear as a nested
+// "admit-wait" slice at the head of their request.
+func registerTraceSource(t *Tracer) {
+	obs.RegisterTraceSource("requests/"+t.name, t.traceEvents)
+}
+
+func (t *Tracer) traceEvents() []obs.TraceEvent {
+	recs := t.Recent()
+	if len(recs) == 0 {
+		return nil
+	}
+	origin := recs[0].StartNs
+	for _, r := range recs {
+		if r.StartNs < origin {
+			origin = r.StartNs
+		}
+	}
+	events := make([]obs.TraceEvent, 0, len(recs))
+	for _, r := range recs {
+		lane := tierIndex(r.Tier)
+		ts := float64(r.StartNs-origin) / 1e3
+		events = append(events, obs.TraceEvent{
+			Name: "request", TsUs: ts, DurUs: float64(r.DurNs) / 1e3,
+			Lane: lane, LaneName: tierNames[lane],
+			Args: map[string]any{
+				"reqid":   r.ID,
+				"outcome": r.Outcome.String(),
+				"tenant":  r.Tenant,
+				"shape":   fmt.Sprintf("%dx%dx%d", r.M, r.K, r.N),
+				"lease":   r.Lease.String(),
+				"pack_us": float64(r.PackNs) / 1e3,
+			},
+		})
+		if r.AdmitWaitNs > 1e3 {
+			events = append(events, obs.TraceEvent{
+				Name: "admit-wait", TsUs: ts, DurUs: float64(r.AdmitWaitNs) / 1e3,
+				Lane: lane, LaneName: tierNames[lane],
+				Args: map[string]any{"reqid": r.ID, "queue_depth": r.QueueDepth},
+			})
+		}
+	}
+	return events
+}
+
+var exportsOnce sync.Once
+
+// publishExportsOnce registers the "cake_slo" expvar the first time a
+// tracer is published (expvar names are forever, so this is once per
+// process, not per engine).
+func publishExportsOnce() {
+	exportsOnce.Do(func() {
+		expvar.Publish("cake_slo", expvar.Func(func() any {
+			now := time.Now()
+			out := map[string][]Status{}
+			for _, t := range Published() {
+				out[t.Name()] = t.SLOStatuses(now)
+			}
+			return out
+		}))
+	})
+}
+
+// selectTracers resolves the ?engine= query: a named tracer, or every
+// published one. Writes the 404 itself when the name is unknown.
+func selectTracers(w http.ResponseWriter, r *http.Request) ([]*Tracer, bool) {
+	if name := r.URL.Query().Get("engine"); name != "" {
+		t, ok := Lookup(name)
+		if !ok {
+			http.Error(w, fmt.Sprintf("no tracer published for engine %q", name), http.StatusNotFound)
+			return nil, false
+		}
+		return []*Tracer{t}, true
+	}
+	ts := Published()
+	if len(ts) == 0 {
+		http.Error(w, "no request tracer published (engine running with Trace.Disable?)", http.StatusNotFound)
+		return nil, false
+	}
+	return ts, true
+}
+
+// defaultRecentLimit bounds how many ring records one /debug/requests.json
+// response carries unless ?n= asks otherwise (?n=0 means the whole ring).
+const defaultRecentLimit = 256
+
+// engineRequests is one engine's slice of /debug/requests.json.
+type engineRequests struct {
+	Engine    string           `json:"engine"`
+	Committed int64            `json:"committed"`
+	Dropped   int64            `json:"dropped"`
+	Outcomes  map[string]int64 `json:"outcomes"`
+	Records   []Record         `json:"records"`
+}
+
+func outcomeMap(t *Tracer) map[string]int64 {
+	counts := t.OutcomeCounts()
+	out := make(map[string]int64, len(counts))
+	for o := Outcome(0); o < outcomeCount; o++ {
+		if c := counts[o]; c != 0 {
+			out[o.String()] = c
+		}
+	}
+	return out
+}
+
+func serveRequests(w http.ResponseWriter, r *http.Request) {
+	ts, ok := selectTracers(w, r)
+	if !ok {
+		return
+	}
+	if q := r.URL.Query().Get("reqid"); q != "" {
+		id, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			http.Error(w, "reqid must be an unsigned integer", http.StatusBadRequest)
+			return
+		}
+		for _, t := range ts {
+			if rec, found := t.LookupRecord(id); found {
+				w.Header().Set("Content-Type", "application/json")
+				json.NewEncoder(w).Encode(map[string]any{"engine": t.Name(), "record": rec})
+				return
+			}
+		}
+		http.Error(w, fmt.Sprintf("request %d not in any flight recorder (ring wrapped, or never recorded)", id),
+			http.StatusNotFound)
+		return
+	}
+	limit := defaultRecentLimit
+	if q := r.URL.Query().Get("n"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			http.Error(w, "n must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	engines := make([]engineRequests, 0, len(ts))
+	for _, t := range ts {
+		recs := t.Recent()
+		if limit > 0 && len(recs) > limit {
+			recs = recs[len(recs)-limit:]
+		}
+		engines = append(engines, engineRequests{
+			Engine:    t.Name(),
+			Committed: t.Committed(),
+			Dropped:   t.Dropped(),
+			Outcomes:  outcomeMap(t),
+			Records:   recs,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"engines": engines})
+}
+
+// engineSLO is one engine's slice of /debug/slo.json.
+type engineSLO struct {
+	Engine string   `json:"engine"`
+	SLOs   []Status `json:"slos"`
+}
+
+func serveSLO(w http.ResponseWriter, r *http.Request) {
+	ts, ok := selectTracers(w, r)
+	if !ok {
+		return
+	}
+	now := time.Now()
+	engines := make([]engineSLO, 0, len(ts))
+	for _, t := range ts {
+		sts := t.SLOStatuses(now)
+		if sts == nil {
+			sts = []Status{}
+		}
+		engines = append(engines, engineSLO{Engine: t.Name(), SLOs: sts})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"at_ns": now.UnixNano(), "engines": engines})
+}
+
+func serveSnapshots(w http.ResponseWriter, r *http.Request) {
+	ts, ok := selectTracers(w, r)
+	if !ok {
+		return
+	}
+	snaps := []Snapshot{}
+	for _, t := range ts {
+		snaps = append(snaps, t.Snapshots()...)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"snapshots": snaps})
+}
+
+// WritePrometheus renders the request-lifecycle families for every
+// published tracer; obs.WritePrometheus calls it on each /metrics scrape.
+func WritePrometheus(w io.Writer) {
+	ts := Published()
+	if len(ts) == 0 {
+		return
+	}
+	now := time.Now()
+
+	const reqs = "cake_requests_total"
+	fmt.Fprintf(w, "# HELP %s Engine requests by outcome.\n# TYPE %s counter\n", reqs, reqs)
+	for _, t := range ts {
+		counts := t.OutcomeCounts()
+		for o := Outcome(0); o < outcomeCount; o++ {
+			fmt.Fprintf(w, "%s{engine=%q,outcome=%q} %d\n", reqs, t.Name(), o.String(), counts[o])
+		}
+	}
+
+	const p99 = "cake_request_tier_p99_seconds"
+	fmt.Fprintf(w, "# HELP %s Rolling p99 request latency bound per tier.\n# TYPE %s gauge\n", p99, p99)
+	for _, t := range ts {
+		for _, tier := range tierNames {
+			if v := t.TierP99(tier); v > 0 {
+				fmt.Fprintf(w, "%s{engine=%q,tier=%q} %g\n", p99, t.Name(), tier, float64(v)/1e9)
+			}
+		}
+	}
+
+	const dropped = "cake_flight_recorder_dropped_total"
+	fmt.Fprintf(w, "# HELP %s Records overwritten by the flight-recorder ring.\n# TYPE %s counter\n", dropped, dropped)
+	for _, t := range ts {
+		fmt.Fprintf(w, "%s{engine=%q} %d\n", dropped, t.Name(), t.Dropped())
+	}
+
+	const trips = "cake_snapshot_trips_total"
+	fmt.Fprintf(w, "# HELP %s Anomaly trips by reason (snapshot freezes plus refractory-collapsed repeats).\n# TYPE %s counter\n", trips, trips)
+	for _, t := range ts {
+		for why := Reason(0); why < reasonCount; why++ {
+			fmt.Fprintf(w, "%s{engine=%q,reason=%q} %d\n", trips, t.Name(), why.String(), t.TripCount(why))
+		}
+	}
+
+	const burn = "cake_slo_burn_rate"
+	const budget = "cake_slo_budget_remaining"
+	fmt.Fprintf(w, "# HELP %s Error-budget burn rate per objective window (1.0 = spending exactly the budget).\n# TYPE %s gauge\n", burn, burn)
+	for _, t := range ts {
+		for _, st := range t.SLOStatuses(now) {
+			for _, ws := range st.Windows {
+				fmt.Fprintf(w, "%s{engine=%q,objective=%q,window=%q} %g\n", burn, t.Name(), st.Name, ws.Window, ws.BurnRate)
+			}
+		}
+	}
+	fmt.Fprintf(w, "# HELP %s Lifetime error budget remaining (1 untouched, 0 exhausted, negative overspent).\n# TYPE %s gauge\n", budget, budget)
+	for _, t := range ts {
+		for _, st := range t.SLOStatuses(now) {
+			fmt.Fprintf(w, "%s{engine=%q,objective=%q} %g\n", budget, t.Name(), st.Name, st.BudgetRemaining)
+		}
+	}
+}

@@ -4,15 +4,22 @@
 // timelines, and the latest model-conformance report. A host embeds the
 // executors, registers its trace recorders, and calls Serve; nothing here
 // touches the GEMM hot path.
+//
+// Routes live in a registry: the built-in bundle plus whatever other
+// packages contribute via HandleDebug (e.g. obs/reqtrace's request-lifecycle
+// endpoints). The index page is generated from the same registry snapshot
+// the mux is built from, so "/" always lists exactly what is mounted.
 package obs
 
 import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"html"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
 	"sync"
 )
@@ -69,54 +76,106 @@ func LatestConformance() (any, bool) {
 	return latestConf, hasConf
 }
 
+// DebugRoute is one debug-server endpoint: its mux pattern, a one-line
+// description for the index page, and the handler.
+type DebugRoute struct {
+	Pattern string
+	Desc    string
+	Handler http.Handler
+}
+
+var (
+	routesMu    sync.Mutex
+	extraRoutes []DebugRoute
+)
+
+// HandleDebug contributes a route to the debug server. Packages that extend
+// the observability surface (reqtrace, future serving layers) register
+// their endpoints here — typically from init() — and every subsequent
+// DebugHandler() mounts them and lists them on the index. Re-registering a
+// pattern replaces its handler and description in place. Patterns must not
+// collide with the built-in bundle (DebugHandler panics on duplicates, same
+// as http.ServeMux would).
+func HandleDebug(pattern, desc string, h http.Handler) {
+	routesMu.Lock()
+	defer routesMu.Unlock()
+	for i := range extraRoutes {
+		if extraRoutes[i].Pattern == pattern {
+			extraRoutes[i].Desc, extraRoutes[i].Handler = desc, h
+			return
+		}
+	}
+	extraRoutes = append(extraRoutes, DebugRoute{Pattern: pattern, Desc: desc, Handler: h})
+}
+
+// builtinRoutes is the core endpoint bundle. The index route itself is
+// added by DebugHandler, closed over the full snapshot.
+func builtinRoutes() []DebugRoute {
+	return []DebugRoute{
+		{"/metrics", "Prometheus text exposition", http.HandlerFunc(serveMetrics)},
+		{"/debug/vars", "expvar JSON", expvar.Handler()},
+		{"/debug/pprof/", "pprof profiles", http.HandlerFunc(pprof.Index)},
+		{"/debug/pprof/cmdline", "pprof cmdline", http.HandlerFunc(pprof.Cmdline)},
+		{"/debug/pprof/profile", "pprof CPU profile", http.HandlerFunc(pprof.Profile)},
+		{"/debug/pprof/symbol", "pprof symbol lookup", http.HandlerFunc(pprof.Symbol)},
+		{"/debug/pprof/trace", "runtime execution trace", http.HandlerFunc(pprof.Trace)},
+		{"/debug/trace.json", "Chrome trace (load in Perfetto)", http.HandlerFunc(serveTrace)},
+		{"/debug/timeline.json", "bandwidth timelines (?buckets=N)", http.HandlerFunc(serveTimeline)},
+		{"/debug/conformance.json", "latest conformance report", http.HandlerFunc(serveConformance)},
+	}
+}
+
+// DebugRoutes returns the full route set a DebugHandler built right now
+// would mount (built-ins plus registered extras), sorted by pattern. The
+// index test walks this to prove the index page is complete.
+func DebugRoutes() []DebugRoute {
+	routesMu.Lock()
+	extras := make([]DebugRoute, len(extraRoutes))
+	copy(extras, extraRoutes)
+	routesMu.Unlock()
+	all := append(builtinRoutes(), extras...)
+	sort.Slice(all, func(i, j int) bool { return all[i].Pattern < all[j].Pattern })
+	return all
+}
+
 // DebugHandler returns the debug server's routes on a fresh mux, so hosts
-// can mount them on their own server (or tests on httptest) without
-// binding a socket:
-//
-//	/                        index of everything below
-//	/metrics                 Prometheus text exposition of ExecMetrics
-//	/debug/vars              expvar JSON (includes cake_metrics)
-//	/debug/pprof/...         standard pprof handlers
-//	/debug/trace.json        Chrome trace of all registered processes
-//	/debug/timeline.json     per-process bandwidth timeline + stats (?buckets=N)
-//	/debug/conformance.json  latest conformance report (404 until published)
+// can mount them on their own server (or tests on httptest) without binding
+// a socket. The route set is snapshotted at call time; the index page is
+// generated from that same snapshot.
 func DebugHandler() http.Handler {
+	routes := DebugRoutes()
 	mux := http.NewServeMux()
-	mux.HandleFunc("/{$}", serveIndex)
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		WritePrometheus(w)
+	mux.HandleFunc("/{$}", func(w http.ResponseWriter, r *http.Request) {
+		serveIndex(w, routes)
 	})
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/debug/trace.json", serveTrace)
-	mux.HandleFunc("/debug/timeline.json", serveTimeline)
-	mux.HandleFunc("/debug/conformance.json", serveConformance)
+	for _, rt := range routes {
+		mux.Handle(rt.Pattern, rt.Handler)
+	}
 	return mux
 }
 
-func serveIndex(w http.ResponseWriter, r *http.Request) {
+func serveMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WritePrometheus(w)
+}
+
+// serveIndex renders the route list it is given — the exact set mounted on
+// the mux — so the index can never drift from the registered endpoints.
+func serveIndex(w http.ResponseWriter, routes []DebugRoute) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	fmt.Fprint(w, `<html><head><title>cake debug</title></head><body>
-<h1>cake debug server</h1><ul>
-<li><a href="/metrics">/metrics</a> — Prometheus text exposition</li>
-<li><a href="/debug/vars">/debug/vars</a> — expvar JSON</li>
-<li><a href="/debug/pprof/">/debug/pprof/</a> — pprof profiles</li>
-<li><a href="/debug/trace.json">/debug/trace.json</a> — Chrome trace (load in Perfetto)</li>
-<li><a href="/debug/timeline.json">/debug/timeline.json</a> — bandwidth timelines (?buckets=N)</li>
-<li><a href="/debug/conformance.json">/debug/conformance.json</a> — latest conformance report</li>
-</ul></body></html>`)
+	fmt.Fprint(w, "<html><head><title>cake debug</title></head><body>\n<h1>cake debug server</h1><ul>\n")
+	for _, rt := range routes {
+		p := html.EscapeString(rt.Pattern)
+		fmt.Fprintf(w, "<li><a href=%q>%s</a> — %s</li>\n", p, p, html.EscapeString(rt.Desc))
+	}
+	fmt.Fprint(w, "</ul></body></html>\n")
 }
 
 func serveTrace(w http.ResponseWriter, r *http.Request) {
 	procs := RegisteredProcesses()
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Disposition", `attachment; filename="cake-trace.json"`)
-	if err := WriteChromeTrace(w, procs...); err != nil {
+	if err := WriteChromeTraceAll(w, procs...); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }

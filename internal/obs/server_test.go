@@ -165,6 +165,64 @@ func TestDebugHandlerEndpoints(t *testing.T) {
 	})
 }
 
+// TestIndexListsEveryRoute proves the index page cannot drift from the
+// mounted route set: every pattern DebugRoutes() reports — built-ins plus
+// anything contributed through HandleDebug — must appear on the index, and
+// must actually be mounted on the handler the index came from.
+func TestIndexListsEveryRoute(t *testing.T) {
+	resetDebugState()
+	t.Cleanup(resetDebugState)
+
+	HandleDebug("/debug/test-extra.json", "index-completeness probe",
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			io.WriteString(w, `{"ok":true}`)
+		}))
+
+	srv := httptest.NewServer(DebugHandler())
+	defer srv.Close()
+
+	code, index := debugGet(t, srv, "/")
+	if code != http.StatusOK {
+		t.Fatalf("index code %d", code)
+	}
+	routes := DebugRoutes()
+	if len(routes) == 0 {
+		t.Fatal("DebugRoutes returned nothing")
+	}
+	for _, rt := range routes {
+		if !strings.Contains(index, ">"+rt.Pattern+"</a>") {
+			t.Errorf("index is missing registered route %s", rt.Pattern)
+		}
+		if rt.Desc == "" {
+			t.Errorf("route %s has no description for the index", rt.Pattern)
+		}
+	}
+
+	// The registered extra is mounted, not just listed.
+	code, body := debugGet(t, srv, "/debug/test-extra.json")
+	if code != http.StatusOK || body != `{"ok":true}` {
+		t.Fatalf("extra route: code %d, body %q", code, body)
+	}
+
+	// Re-registering a pattern replaces in place, without duplicating.
+	before := len(DebugRoutes())
+	HandleDebug("/debug/test-extra.json", "replaced probe", http.NotFoundHandler())
+	after := DebugRoutes()
+	if len(after) != before {
+		t.Fatalf("re-register changed route count %d -> %d", before, len(after))
+	}
+	found := false
+	for _, rt := range after {
+		if rt.Pattern == "/debug/test-extra.json" && rt.Desc == "replaced probe" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("re-registered route did not replace in place")
+	}
+}
+
 func TestRegisterProcessReplaceKeepsOrder(t *testing.T) {
 	resetDebugState()
 	t.Cleanup(resetDebugState)

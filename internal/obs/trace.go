@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Process names one recorder's lane group in the exported trace, e.g.
@@ -36,6 +37,55 @@ type traceFile struct {
 	DisplayTimeUnit string       `json:"displayTimeUnit"`
 }
 
+// TraceEvent is an externally contributed Chrome-trace event: packages
+// above obs (reqtrace's request spans) hand these to the exporter through
+// RegisterTraceSource instead of depending on the writer's internal event
+// shape. Timestamps and durations are microseconds, relative to the
+// source's own origin (the exporter keeps each process's own zero, the same
+// per-process shifting the recorder spans get).
+type TraceEvent struct {
+	Name     string
+	TsUs     float64
+	DurUs    float64 // ignored when Instant
+	Instant  bool
+	Lane     int    // tid within the source's process
+	LaneName string // thread_name metadata, emitted once per lane
+	Args     map[string]any
+}
+
+var (
+	traceSrcMu    sync.Mutex
+	traceSrcNames []string // registration order → stable pids
+	traceSrcs     = map[string]func() []TraceEvent{}
+)
+
+// RegisterTraceSource contributes an extra process to the debug server's
+// Chrome-trace export (/debug/trace.json): the callback is invoked at
+// download time and its events appear as one process named name alongside
+// the registered recorders — request-lifecycle spans render as parent
+// tracks over the per-worker phase spans. Re-registering a name replaces
+// its callback, keeping its position.
+func RegisterTraceSource(name string, fn func() []TraceEvent) {
+	traceSrcMu.Lock()
+	defer traceSrcMu.Unlock()
+	if _, ok := traceSrcs[name]; !ok {
+		traceSrcNames = append(traceSrcNames, name)
+	}
+	traceSrcs[name] = fn
+}
+
+func traceSources() ([]string, []func() []TraceEvent) {
+	traceSrcMu.Lock()
+	defer traceSrcMu.Unlock()
+	names := make([]string, len(traceSrcNames))
+	copy(names, traceSrcNames)
+	fns := make([]func() []TraceEvent, len(names))
+	for i, n := range names {
+		fns[i] = traceSrcs[n]
+	}
+	return names, fns
+}
+
 // WriteChromeTrace exports the recorders' spans as Chrome Trace Event JSON.
 // Each process's timestamps are shifted so its earliest span starts at
 // t=0, letting sequentially captured executions (CAKE then GOTO on the
@@ -44,6 +94,17 @@ type traceFile struct {
 // count, so a truncated trace announces itself instead of silently showing
 // a shortened execution.
 func WriteChromeTrace(w io.Writer, procs ...Process) error {
+	return writeChromeTrace(w, procs, false)
+}
+
+// WriteChromeTraceAll is WriteChromeTrace plus every registered external
+// trace source (request-lifecycle spans); the debug server's
+// /debug/trace.json uses it.
+func WriteChromeTraceAll(w io.Writer, procs ...Process) error {
+	return writeChromeTrace(w, procs, true)
+}
+
+func writeChromeTrace(w io.Writer, procs []Process, withSources bool) error {
 	f := traceFile{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{}}
 	for pi, p := range procs {
 		pid := pi + 1
@@ -95,6 +156,35 @@ func WriteChromeTrace(w io.Writer, procs ...Process) error {
 				ev.Dur = &dur
 			}
 			f.TraceEvents = append(f.TraceEvents, ev)
+		}
+	}
+	if withSources {
+		names, fns := traceSources()
+		for si, fn := range fns {
+			pid := len(procs) + si + 1
+			f.TraceEvents = append(f.TraceEvents, traceEvent{
+				Name: "process_name", Ph: "M", Pid: pid,
+				Args: map[string]any{"name": names[si]},
+			})
+			seen := map[int]bool{}
+			for _, e := range fn() {
+				if !seen[e.Lane] && e.LaneName != "" {
+					seen[e.Lane] = true
+					f.TraceEvents = append(f.TraceEvents, traceEvent{
+						Name: "thread_name", Ph: "M", Pid: pid, Tid: e.Lane,
+						Args: map[string]any{"name": e.LaneName},
+					})
+				}
+				ev := traceEvent{Name: e.Name, Ts: e.TsUs, Pid: pid, Tid: e.Lane, Args: e.Args}
+				if e.Instant {
+					ev.Ph, ev.S = "i", "t"
+				} else {
+					ev.Ph = "X"
+					dur := e.DurUs
+					ev.Dur = &dur
+				}
+				f.TraceEvents = append(f.TraceEvents, ev)
+			}
 		}
 	}
 	enc := json.NewEncoder(w)

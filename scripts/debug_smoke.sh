@@ -1,0 +1,95 @@
+#!/usr/bin/env sh
+# debug_smoke.sh — boots `cake-bench smoke` (debug server + engine + mixed
+# workload + conformance report) and probes the observability surface from
+# outside the process: every endpoint must answer 200 with valid JSON
+# (/metrics: valid Prometheus text containing the request families).
+# Exits non-zero on the first failing probe. Respects CAKE_DEBUG_ADDR.
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=$(mktemp)
+go run ./cmd/cake-bench smoke >"$OUT" 2>&1 &
+SMOKE_PID=$!
+trap 'kill "$SMOKE_PID" 2>/dev/null; wait "$SMOKE_PID" 2>/dev/null || true; rm -f "$OUT"' EXIT
+
+# Wait for the readiness line (printed only after the workload and the
+# conformance report, so every endpoint has content).
+ADDR=
+for _ in $(seq 1 120); do
+	if ! kill -0 "$SMOKE_PID" 2>/dev/null; then
+		echo "debug_smoke: smoke process died:" >&2
+		cat "$OUT" >&2
+		exit 1
+	fi
+	ADDR=$(sed -n 's/^SMOKE_ADDR=//p' "$OUT" | head -n 1)
+	[ -n "$ADDR" ] && break
+	sleep 1
+done
+if [ -z "$ADDR" ]; then
+	echo "debug_smoke: no SMOKE_ADDR readiness line after 120s:" >&2
+	cat "$OUT" >&2
+	exit 1
+fi
+echo "debug_smoke: probing http://$ADDR"
+
+# probe PATH [json] — 200 or fail; with json, the body must parse.
+probe() {
+	path=$1
+	kind=${2:-raw}
+	body=$(mktemp)
+	code=$(curl -sS -o "$body" -w '%{http_code}' "http://$ADDR$path")
+	if [ "$code" != "200" ]; then
+		echo "debug_smoke: GET $path -> $code" >&2
+		cat "$body" >&2
+		rm -f "$body"
+		exit 1
+	fi
+	if [ "$kind" = json ] && ! python3 -c 'import json,sys; json.load(sys.stdin)' <"$body"; then
+		echo "debug_smoke: GET $path -> invalid JSON" >&2
+		cat "$body" >&2
+		rm -f "$body"
+		exit 1
+	fi
+	rm -f "$body"
+	echo "debug_smoke: GET $path ok"
+}
+
+probe /metrics
+probe /debug/requests.json json
+probe /debug/slo.json json
+probe /debug/snapshots.json json
+probe /debug/conformance.json json
+probe /debug/vars json
+probe /debug/trace.json json
+probe /debug/timeline.json json
+
+# The request families must actually be exported, not just the page served.
+if ! curl -sS "http://$ADDR/metrics" | grep -q '^cake_requests_total'; then
+	echo "debug_smoke: /metrics is missing cake_requests_total" >&2
+	exit 1
+fi
+if ! curl -sS "http://$ADDR/metrics" | grep -q '^cake_slo_burn_rate'; then
+	echo "debug_smoke: /metrics is missing cake_slo_burn_rate" >&2
+	exit 1
+fi
+
+# A record fetched from the ring must round-trip through ?reqid= lookup.
+REQID=$(curl -sS "http://$ADDR/debug/requests.json" | python3 -c '
+import json, sys
+page = json.load(sys.stdin)
+for e in page["engines"]:
+    recs = e.get("records") or []
+    if recs:
+        print(e["engine"], recs[0]["id"])
+        break
+')
+if [ -z "$REQID" ]; then
+	echo "debug_smoke: /debug/requests.json has no records" >&2
+	exit 1
+fi
+ENGINE=${REQID% *}
+ID=${REQID#* }
+probe "/debug/requests.json?engine=$ENGINE&reqid=$ID" json
+echo "debug_smoke: reqid lookup ok (engine=$ENGINE id=$ID)"
+
+echo "debug_smoke: all probes passed"
