@@ -68,6 +68,13 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "corpus" {
+		if err := runCorpus(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "cake-bench corpus:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	quick := flag.Bool("quick", false, "scale problem sizes down for fast runs")
 	csvDir := flag.String("csv", "", "directory to write CSV files into")
 	flag.IntVar(&serveClients, "clients", 0, "serve: concurrent client streams (0 = max(8, GOMAXPROCS))")
@@ -86,7 +93,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: cake-bench [-quick] [-csv DIR] [-clients N] [-dur D] table2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|packshare|gemm|trace|tenant|serve|resident|obs|all")
-	fmt.Fprintln(os.Stderr, "       cake-bench check [-baseline DIR] [-candidate DIR] [-runs N] [-threshold F] [-quick]")
+	fmt.Fprintln(os.Stderr, "       cake-bench check [-baseline DIR] [-candidate DIR] [-corpus DIR] [-runs N] [-threshold F] [-quick] [-json]")
+	fmt.Fprintln(os.Stderr, "       cake-bench corpus [-quick] [-grid full|micro] [-runs N] [-store DIR] [-out FILE] [-report] [-profile]")
 }
 
 // runCheck is the benchmark regression gate. With -candidate it compares
@@ -102,10 +110,12 @@ func runCheck(args []string, w io.Writer) error {
 	opt := benchgate.DefaultOptions()
 	baseline := fs.String("baseline", filepath.Join("results", "baseline"), "baseline artifact directory")
 	candidate := fs.String("candidate", "", "candidate artifact directory (default: measure fresh)")
+	corpusDir := fs.String("corpus", filepath.Join("results", "corpus"), "corpus history store for trend verdicts (empty/missing = skip)")
 	runs := fs.Int("runs", opt.MinRuns, "fresh benchmark runs to take the best of")
 	threshold := fs.Float64("threshold", opt.Threshold, "allowed relative GFLOPS drop")
 	quick := fs.Bool("quick", true, "scale fresh problem sizes down")
 	update := fs.Bool("update", false, "measure fresh and overwrite the baseline instead of judging")
+	asJSON := fs.Bool("json", false, "write the machine-readable verdict summary to stdout (human text moves to stderr)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -114,6 +124,12 @@ func runCheck(args []string, w io.Writer) error {
 
 	if *update {
 		return updateBaseline(*baseline, *quick, opt.MinRuns, w)
+	}
+	// With -json, w carries only the JSON document; progress and the human
+	// rendering go to stderr so scripts can parse stdout directly.
+	human := w
+	if *asJSON {
+		human = os.Stderr
 	}
 	var res benchgate.Result
 	if *candidate != "" {
@@ -132,7 +148,7 @@ func runCheck(args []string, w io.Writer) error {
 			return err
 		}
 		cores := runtime.GOMAXPROCS(0)
-		fmt.Fprintf(w, "measuring candidate: %d runs on %d cores (quick=%v)\n", opt.MinRuns, cores, *quick)
+		fmt.Fprintf(human, "measuring candidate: %d runs on %d cores (quick=%v)\n", opt.MinRuns, cores, *quick)
 		candGemm, err := benchgate.FreshGemm(cores, *quick, opt.MinRuns)
 		if err != nil {
 			return err
@@ -179,12 +195,55 @@ func runCheck(args []string, w io.Writer) error {
 			res.Findings = append(res.Findings, benchgate.CompareObs(baseObs, candObs, opt)...)
 		}
 	}
-	res.Render(w)
+	// Trend verdicts over the corpus history store: regressions are judged
+	// against the curve, not one committed file. An empty or absent store
+	// skips the analysis (the trajectory has to start somewhere).
+	trend, err := checkTrend(*corpusDir)
+	if err != nil {
+		return err
+	}
+	if trend != nil {
+		res.Findings = append(res.Findings, trend.Findings()...)
+	}
+	res.Render(human)
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(benchgate.Summary{
+			OK:          res.OK(),
+			Regressions: len(res.Regressions()),
+			Findings:    res.Findings,
+			Trend:       trend,
+		}); err != nil {
+			return err
+		}
+	}
 	if !res.OK() {
 		return fmt.Errorf("%d regression(s) against %s", len(res.Regressions()), *baseline)
 	}
-	fmt.Fprintln(w, "benchmark gate: OK")
+	fmt.Fprintln(human, "benchmark gate: OK")
 	return nil
+}
+
+// checkTrend loads the corpus history and analyzes the trend, returning nil
+// (not an error) when the store is absent or empty so checkouts without a
+// corpus keep gating on the pairwise artifacts alone.
+func checkTrend(dir string) (*benchgate.TrendReport, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	history, err := experiments.OpenCorpusStore(dir).Load()
+	if err != nil {
+		return nil, err
+	}
+	if len(history) == 0 {
+		return nil, nil
+	}
+	rep, err := benchgate.AnalyzeTrend(history, benchgate.DefaultTrendOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &rep, nil
 }
 
 // updateBaseline measures this host and writes the conservative bounds —
@@ -320,10 +379,11 @@ func gemmBench(quick bool, csvDir string, w io.Writer) error {
 		}
 		path = filepath.Join(csvDir, path)
 	}
-	data, err := json.MarshalIndent(struct {
-		Cores int                        `json:"cores"`
-		Rows  []experiments.GemmBenchRow `json:"rows"`
-	}{runtime.GOMAXPROCS(0), rows}, "", "  ")
+	data, err := json.MarshalIndent(benchgate.GemmFile{
+		Envelope: experiments.NewEnvelope("gemm"),
+		Cores:    runtime.GOMAXPROCS(0),
+		Rows:     rows,
+	}, "", "  ")
 	if err != nil {
 		return err
 	}

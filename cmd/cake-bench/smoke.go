@@ -10,9 +10,11 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/benchgate"
 	"repro/internal/cbtheory"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/experiments"
 	"repro/internal/matrix"
 	"repro/internal/obs"
 	"repro/internal/obs/conformance"
@@ -81,6 +83,41 @@ func smokeConformance(pl *platform.Platform, cores int) error {
 	return nil
 }
 
+// smokeCorpus measures the 2-cell micro grid in-process and publishes the
+// epoch with its trend verdicts, so /debug/corpus.json serves a real
+// document and the cake_corpus metric families are exported. The committed
+// store (results/corpus) provides history when present; the fresh epoch is
+// judged in memory and NOT appended — the smoke run must leave the
+// append-only trajectory untouched.
+func smokeCorpus() error {
+	epoch, err := experiments.RunCorpus(experiments.CorpusOptions{Runs: 1, Grid: "micro", Quick: true})
+	if err != nil {
+		return err
+	}
+	history, err := experiments.OpenCorpusStore("results/corpus").Load()
+	if err != nil {
+		// A smoke binary may run outside the repo root; judge the fresh
+		// epoch alone rather than failing the boot.
+		history = nil
+	}
+	if n := len(history); n > 0 {
+		epoch.Seq = history[n-1].Seq + 1
+	} else {
+		epoch.Seq = 1
+	}
+	history = append(history, epoch)
+	rep, err := benchgate.AnalyzeTrend(history, benchgate.DefaultTrendOptions())
+	if err != nil {
+		return err
+	}
+	cells := make([]obs.CorpusCellState, 0, len(rep.Cells))
+	for _, c := range rep.Cells {
+		cells = append(cells, obs.CorpusCellState{Cell: c.Cell, GFLOPS: c.Latest, Verdict: string(c.Verdict)})
+	}
+	obs.SetCorpus(map[string]any{"epoch": epoch, "trend": rep}, epoch.Seq, cells)
+	return nil
+}
+
 // smoke boots the full observability surface the way a serving host would —
 // debug HTTP server, engine with the request-lifecycle layer, resident
 // operands, and a published conformance report — then holds until
@@ -121,6 +158,9 @@ func smoke(quick bool, csvDir string, w io.Writer) error {
 		return err
 	}
 	if err := smokeConformance(pl, cores); err != nil {
+		return err
+	}
+	if err := smokeCorpus(); err != nil {
 		return err
 	}
 

@@ -57,6 +57,16 @@ type Result struct {
 	Findings []Finding `json:"findings"`
 }
 
+// Summary is the machine-readable document `cake-bench check -json` writes:
+// the overall verdict, every finding (pairwise gates and trend cells), and
+// the full trend report when a corpus history was available.
+type Summary struct {
+	OK          bool         `json:"ok"`
+	Regressions int          `json:"regressions"`
+	Findings    []Finding    `json:"findings"`
+	Trend       *TrendReport `json:"trend,omitempty"`
+}
+
 // OK reports whether no finding is a regression.
 func (r Result) OK() bool {
 	for _, f := range r.Findings {
@@ -95,8 +105,11 @@ func (r Result) Render(w io.Writer) {
 	}
 }
 
-// GemmFile is the BENCH_gemm.json envelope cake-bench writes.
+// GemmFile is the BENCH_gemm.json artifact cake-bench writes: the unified
+// schema envelope plus the measurement rows. Baselines committed before the
+// envelope existed unmarshal with a zero envelope and keep gating.
 type GemmFile struct {
+	experiments.Envelope
 	Cores int                        `json:"cores"`
 	Rows  []experiments.GemmBenchRow `json:"rows"`
 }
@@ -327,7 +340,7 @@ func pickGemm(cores int, quick bool, runs int, pick func([]float64) float64) (Ge
 	for i := range first {
 		first[i].GFLOPS = pick(samples[gemmKey(first[i])])
 	}
-	return GemmFile{Cores: cores, Rows: first}, nil
+	return GemmFile{Envelope: experiments.NewEnvelope("gemm"), Cores: cores, Rows: first}, nil
 }
 
 // sampleTimeline runs the trace benchmark `runs` times, collecting GFLOPS

@@ -1,0 +1,240 @@
+package benchgate
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/platform"
+)
+
+// trendHost builds a fingerprint whose Key() discriminates by hostname only,
+// so tests can fabricate same-host and cross-host histories.
+func trendHost(name string) platform.Fingerprint {
+	return platform.Fingerprint{Hostname: name, OS: "linux", Arch: "amd64", Cores: 4, CPUModel: "synthetic"}
+}
+
+// epochWith builds a synthetic one-cell epoch at a given sequence number.
+func epochWith(seq int, host platform.Fingerprint, gflops, cov float64) *experiments.CorpusEpoch {
+	return &experiments.CorpusEpoch{
+		Envelope: experiments.Envelope{
+			SchemaVersion: experiments.BenchSchemaVersion,
+			Artifact:      "corpus",
+			Host:          host,
+		},
+		Seq: seq,
+		Cells: []experiments.CorpusCell{{
+			Shape: "small", Scenario: "fresh", Dtype: "f32",
+			M: 8, K: 320, N: 320, Tier: "small", Reps: 60, Runs: 3,
+			GFLOPS: gflops, BestGFLOPS: gflops * 1.02, MedianGFLOPS: gflops * 1.01, CoV: cov,
+		}},
+	}
+}
+
+// history turns a GFLOP/s trajectory into an epoch sequence on one host.
+func history(host platform.Fingerprint, cov float64, gflops ...float64) []*experiments.CorpusEpoch {
+	out := make([]*experiments.CorpusEpoch, len(gflops))
+	for i, g := range gflops {
+		out[i] = epochWith(i+1, host, g, cov)
+	}
+	return out
+}
+
+func analyzeOne(t *testing.T, hist []*experiments.CorpusEpoch) CellTrend {
+	t.Helper()
+	rep, err := AnalyzeTrend(hist, DefaultTrendOptions())
+	if err != nil {
+		t.Fatalf("AnalyzeTrend: %v", err)
+	}
+	if len(rep.Cells) != 1 {
+		t.Fatalf("cells = %d, want 1", len(rep.Cells))
+	}
+	return rep.Cells[0]
+}
+
+func TestTrendStepRegression(t *testing.T) {
+	// Six quiet epochs near 100, then a 30% cliff: the step detector must fire.
+	h := history(trendHost("a"), 0.01, 100, 101, 99, 100, 100, 101, 70)
+	c := analyzeOne(t, h)
+	if c.Verdict != VerdictRegressed {
+		t.Fatalf("verdict = %s (%s), want regressed", c.Verdict, c.Detail)
+	}
+	if c.Kind != "step" {
+		t.Fatalf("kind = %q, want step", c.Kind)
+	}
+	if c.RelDrop() < 0.25 {
+		t.Fatalf("RelDrop = %.3f, want >= 0.25", c.RelDrop())
+	}
+}
+
+func TestTrendSlowDrift(t *testing.T) {
+	// 1%/epoch decline: the latest point sits only ~4% under the rolling
+	// median (inside the 5% band, so no step), but the fitted slope
+	// accumulates to ~7% across the 8-epoch window.
+	h := history(trendHost("a"), 0.005, 100, 99, 98, 97, 96, 95, 94, 93)
+	c := analyzeOne(t, h)
+	if c.Verdict != VerdictRegressed {
+		t.Fatalf("verdict = %s (%s), want regressed", c.Verdict, c.Detail)
+	}
+	if c.Kind != "drift" {
+		t.Fatalf("kind = %q, want drift (detail: %s)", c.Kind, c.Detail)
+	}
+	if c.DriftPerEpoch >= 0 {
+		t.Fatalf("DriftPerEpoch = %.4f, want negative", c.DriftPerEpoch)
+	}
+}
+
+func TestTrendPureNoiseOK(t *testing.T) {
+	// ±2% jitter with matching intra-epoch CoV stays inside the scaled band.
+	h := history(trendHost("a"), 0.02, 100, 98, 102, 99, 101, 97.5, 100.5)
+	c := analyzeOne(t, h)
+	if c.Verdict != VerdictOK {
+		t.Fatalf("verdict = %s (%s), want ok", c.Verdict, c.Detail)
+	}
+	if c.Band < 0.05 {
+		t.Fatalf("band = %.3f, want >= MinBand 0.05", c.Band)
+	}
+}
+
+func TestTrendImproved(t *testing.T) {
+	h := history(trendHost("a"), 0.01, 100, 99, 101, 100, 120)
+	c := analyzeOne(t, h)
+	if c.Verdict != VerdictImproved {
+		t.Fatalf("verdict = %s (%s), want improved", c.Verdict, c.Detail)
+	}
+}
+
+func TestTrendNewCell(t *testing.T) {
+	h := history(trendHost("a"), 0.01, 100)
+	c := analyzeOne(t, h)
+	if c.Verdict != VerdictNewCell {
+		t.Fatalf("verdict = %s, want new-cell", c.Verdict)
+	}
+	rep, err := AnalyzeTrend(h, DefaultTrendOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatal("single-epoch history must not gate")
+	}
+}
+
+func TestTrendNoisyCellNeverGates(t *testing.T) {
+	// A 40% cliff with CoV 0.3: too noisy to judge, must NOT report regressed.
+	h := history(trendHost("a"), 0.3, 100, 100, 100, 60)
+	c := analyzeOne(t, h)
+	if c.Verdict != VerdictNoisy {
+		t.Fatalf("verdict = %s (%s), want noisy", c.Verdict, c.Detail)
+	}
+	rep, _ := AnalyzeTrend(h, DefaultTrendOptions())
+	if !rep.OK() {
+		t.Fatal("noisy cell must not gate")
+	}
+}
+
+func TestTrendSameHostFiltering(t *testing.T) {
+	// Fast epochs from another machine must not turn this host's flat
+	// trajectory into a regression.
+	other := trendHost("fast-box")
+	mine := trendHost("a")
+	h := []*experiments.CorpusEpoch{
+		epochWith(1, other, 200, 0.01),
+		epochWith(2, other, 201, 0.01),
+		epochWith(3, mine, 100, 0.01),
+		epochWith(4, mine, 100, 0.01),
+	}
+	rep, err := AnalyzeTrend(h, DefaultTrendOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epochs != 2 || rep.AllEpochs != 4 {
+		t.Fatalf("epochs = %d/%d, want 2 same-host of 4", rep.Epochs, rep.AllEpochs)
+	}
+	if v := rep.Cells[0].Verdict; v != VerdictOK {
+		t.Fatalf("verdict = %s (%s), want ok after host filtering", v, rep.Cells[0].Detail)
+	}
+}
+
+func TestTrendWindowTrimsOldEpochs(t *testing.T) {
+	// A long-ago faster era beyond the window must not drag the baseline up.
+	vals := []float64{200, 200, 200}
+	for i := 0; i < 9; i++ {
+		vals = append(vals, 100)
+	}
+	h := history(trendHost("a"), 0.01, vals...)
+	c := analyzeOne(t, h)
+	if c.Verdict != VerdictOK {
+		t.Fatalf("verdict = %s (%s), want ok once the 200s age out", c.Verdict, c.Detail)
+	}
+	opts := DefaultTrendOptions()
+	if len(c.History) != opts.Window+1 {
+		t.Fatalf("history kept %d points, want window+1 = %d", len(c.History), opts.Window+1)
+	}
+}
+
+func TestTrendFindingsCarryRegression(t *testing.T) {
+	h := history(trendHost("a"), 0.01, 100, 100, 100, 70)
+	rep, err := AnalyzeTrend(h, DefaultTrendOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := rep.Findings()
+	if len(fs) != 1 {
+		t.Fatalf("findings = %d, want 1", len(fs))
+	}
+	f := fs[0]
+	if !f.Regression {
+		t.Fatal("finding must be a regression")
+	}
+	if f.File != "corpus-history" || f.Metric != "gflops-trend" {
+		t.Fatalf("finding identity = %s/%s", f.File, f.Metric)
+	}
+	if f.Key != "small/fresh/f32" {
+		t.Fatalf("finding key = %q", f.Key)
+	}
+}
+
+func TestTrendEmptyHistoryErrors(t *testing.T) {
+	if _, err := AnalyzeTrend(nil, DefaultTrendOptions()); err == nil {
+		t.Fatal("want error for empty history")
+	}
+}
+
+func TestTrendMarkdownReport(t *testing.T) {
+	h := history(trendHost("a"), 0.01, 100, 100, 100, 70)
+	rep, err := AnalyzeTrend(h, DefaultTrendOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	WriteTrendMarkdown(&b, rep, "## Profiles\n\nnone\n")
+	out := b.String()
+	for _, want := range []string{
+		"# Corpus trajectory report",
+		"small/fresh/f32",
+		"regressed (step)",
+		"## Profiles",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Sparkline must render the cliff: last rune is the ramp's bottom.
+	if !strings.Contains(out, "▁") {
+		t.Fatalf("report missing sparkline low bar:\n%s", out)
+	}
+}
+
+func TestSparkRunes(t *testing.T) {
+	if s := sparkRunes(nil); s != "" {
+		t.Fatalf("empty input -> %q", s)
+	}
+	flat := sparkRunes([]float64{5, 5, 5})
+	if len([]rune(flat)) != 3 {
+		t.Fatalf("flat sparkline runes = %d, want 3", len([]rune(flat)))
+	}
+	ramp := []rune(sparkRunes([]float64{0, 1, 2, 3}))
+	if ramp[0] != '▁' || ramp[3] != '█' {
+		t.Fatalf("ramp sparkline = %q", string(ramp))
+	}
+}

@@ -17,6 +17,7 @@ import (
 // of serving throughput. This benchmark is the gate that keeps that claim
 // true as the layer grows.
 type ObsBenchResult struct {
+	Envelope
 	Cores        int     `json:"cores"`
 	Clients      int     `json:"clients"`
 	ClientMix    string  `json:"client_mix"`
@@ -109,7 +110,8 @@ func ObsBench(cores, clients int, dur time.Duration, rounds int) (*ObsBenchResul
 	pools := serveWorkload(on)
 
 	res := &ObsBenchResult{
-		Cores: cores, Clients: clients, ClientMix: ServeClientMix,
+		Envelope: NewEnvelope("obs"),
+		Cores:    cores, Clients: clients, ClientMix: ServeClientMix,
 		DurationSecs: dur.Seconds(), Rounds: rounds,
 	}
 	for r := 0; r < rounds; r++ {

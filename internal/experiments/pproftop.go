@@ -1,0 +1,376 @@
+package experiments
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Minimal pprof profile reader: just enough of the profile.proto wire format
+// (gzipped protobuf) to aggregate flat sample values per leaf function, so
+// corpus epochs can summarize "which frames got hotter since the last epoch"
+// without importing any profiling dependency. Follows the proto3 layout
+// runtime/pprof emits:
+//
+//	Profile:  1 sample_type (ValueType), 2 sample (Sample),
+//	          4 location (Location), 5 function (Function), 6 string_table
+//	ValueType: 1 type (string idx), 2 unit (string idx)
+//	Sample:    1 location_id (repeated uint64), 2 value (repeated int64)
+//	Location:  1 id, 4 line (Line)
+//	Line:      1 function_id
+//	Function:  1 id, 2 name (string idx)
+
+// Frame is one function's flat (self) value in a profile.
+type Frame struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// ProfileSummary is a profile reduced to per-leaf-function flat values for
+// one chosen sample type.
+type ProfileSummary struct {
+	SampleType string  `json:"sample_type"` // e.g. "cpu" or "inuse_space"
+	Unit       string  `json:"unit"`        // e.g. "nanoseconds", "bytes"
+	Total      int64   `json:"total"`
+	Frames     []Frame `json:"frames"` // sorted by value, descending
+}
+
+// Top returns the n hottest frames.
+func (s *ProfileSummary) Top(n int) []Frame {
+	if n > len(s.Frames) {
+		n = len(s.Frames)
+	}
+	return s.Frames[:n]
+}
+
+// FrameDelta is one function's change between two epochs' profiles.
+type FrameDelta struct {
+	Name       string `json:"name"`
+	Prev       int64  `json:"prev"`
+	Cur        int64  `json:"cur"`
+	Difference int64  `json:"delta"`
+}
+
+// DiffProfiles joins two summaries by frame name and returns the n largest
+// absolute changes, biggest first. Frames absent on one side count as zero.
+func DiffProfiles(prev, cur *ProfileSummary, n int) []FrameDelta {
+	vals := map[string]*FrameDelta{}
+	for _, f := range prev.Frames {
+		vals[f.Name] = &FrameDelta{Name: f.Name, Prev: f.Value}
+	}
+	for _, f := range cur.Frames {
+		d := vals[f.Name]
+		if d == nil {
+			d = &FrameDelta{Name: f.Name}
+			vals[f.Name] = d
+		}
+		d.Cur = f.Value
+	}
+	out := make([]FrameDelta, 0, len(vals))
+	for _, d := range vals {
+		d.Difference = d.Cur - d.Prev
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := out[i].Difference, out[j].Difference
+		if ai < 0 {
+			ai = -ai
+		}
+		if aj < 0 {
+			aj = -aj
+		}
+		if ai != aj {
+			return ai > aj
+		}
+		return out[i].Name < out[j].Name
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// ReadProfileSummary parses a pprof file (gzipped or raw proto) into flat
+// per-function values. The sample type is chosen by preference: "cpu", then
+// "inuse_space", then the last type in the profile (runtime/pprof's
+// convention for the most useful default).
+func ReadProfileSummary(path string) (*ProfileSummary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: pprof %s: %w", path, err)
+		}
+		data, err = io.ReadAll(zr)
+		if cerr := zr.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("experiments: pprof %s: %w", path, err)
+		}
+	}
+	p, err := parsePprof(data)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: pprof %s: %w", path, err)
+	}
+	return p.summarize(), nil
+}
+
+type pprofValueType struct{ typ, unit int64 } // string-table indices
+
+type pprofSample struct {
+	locs   []uint64
+	values []int64
+}
+
+type pprofData struct {
+	sampleTypes []pprofValueType
+	samples     []pprofSample
+	locFunc     map[uint64]uint64 // location id → leaf function id
+	funcName    map[uint64]int64  // function id → name string idx
+	strings     []string
+}
+
+func (p *pprofData) str(idx int64) string {
+	if idx < 0 || int(idx) >= len(p.strings) {
+		return ""
+	}
+	return p.strings[idx]
+}
+
+// pickValueIndex selects which sample value column to aggregate.
+func (p *pprofData) pickValueIndex() int {
+	for i, vt := range p.sampleTypes {
+		if p.str(vt.typ) == "cpu" {
+			return i
+		}
+	}
+	for i, vt := range p.sampleTypes {
+		if p.str(vt.typ) == "inuse_space" {
+			return i
+		}
+	}
+	return len(p.sampleTypes) - 1
+}
+
+func (p *pprofData) summarize() *ProfileSummary {
+	s := &ProfileSummary{}
+	vi := p.pickValueIndex()
+	if vi >= 0 && vi < len(p.sampleTypes) {
+		s.SampleType = p.str(p.sampleTypes[vi].typ)
+		s.Unit = p.str(p.sampleTypes[vi].unit)
+	}
+	flat := map[string]int64{}
+	for _, sm := range p.samples {
+		if vi < 0 || vi >= len(sm.values) || len(sm.locs) == 0 {
+			continue
+		}
+		v := sm.values[vi]
+		name := "<unknown>"
+		if fid, ok := p.locFunc[sm.locs[0]]; ok {
+			if n := p.str(p.funcName[fid]); n != "" {
+				name = n
+			}
+		}
+		flat[name] += v
+		s.Total += v
+	}
+	for name, v := range flat {
+		s.Frames = append(s.Frames, Frame{Name: name, Value: v})
+	}
+	sort.Slice(s.Frames, func(i, j int) bool {
+		if s.Frames[i].Value != s.Frames[j].Value {
+			return s.Frames[i].Value > s.Frames[j].Value
+		}
+		return s.Frames[i].Name < s.Frames[j].Name
+	})
+	return s
+}
+
+// --- protobuf wire-format scanning ---
+
+// protoField is one decoded field: varint payload for wire type 0, raw bytes
+// for wire type 2.
+type protoField struct {
+	num  int
+	wire int
+	vi   uint64
+	data []byte
+}
+
+// scanProto walks a message's fields, invoking fn per field. Unknown wire
+// types fail — the pprof writer only uses 0, 1, 2 and 5.
+func scanProto(buf []byte, fn func(f protoField) error) error {
+	for len(buf) > 0 {
+		key, n := uvarint(buf)
+		if n <= 0 {
+			return fmt.Errorf("bad field key")
+		}
+		buf = buf[n:]
+		f := protoField{num: int(key >> 3), wire: int(key & 7)}
+		switch f.wire {
+		case 0:
+			v, n := uvarint(buf)
+			if n <= 0 {
+				return fmt.Errorf("bad varint in field %d", f.num)
+			}
+			f.vi = v
+			buf = buf[n:]
+		case 1:
+			if len(buf) < 8 {
+				return fmt.Errorf("short fixed64 in field %d", f.num)
+			}
+			buf = buf[8:]
+		case 2:
+			l, n := uvarint(buf)
+			if n <= 0 || uint64(len(buf)-n) < l {
+				return fmt.Errorf("bad length in field %d", f.num)
+			}
+			f.data = buf[n : n+int(l)]
+			buf = buf[n+int(l):]
+		case 5:
+			if len(buf) < 4 {
+				return fmt.Errorf("short fixed32 in field %d", f.num)
+			}
+			buf = buf[4:]
+		default:
+			return fmt.Errorf("unsupported wire type %d in field %d", f.wire, f.num)
+		}
+		if err := fn(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// uvarint decodes a varint, returning (value, bytes consumed); n<=0 on error.
+func uvarint(buf []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(buf) && i < 10; i++ {
+		b := buf[i]
+		v |= uint64(b&0x7f) << (7 * i)
+		if b < 0x80 {
+			return v, i + 1
+		}
+	}
+	return 0, 0
+}
+
+// repeatedUvarints decodes a repeated scalar field that may arrive packed
+// (wire 2) or one-per-field (wire 0).
+func repeatedUvarints(f protoField, dst *[]uint64) error {
+	if f.wire == 0 {
+		*dst = append(*dst, f.vi)
+		return nil
+	}
+	buf := f.data
+	for len(buf) > 0 {
+		v, n := uvarint(buf)
+		if n <= 0 {
+			return fmt.Errorf("bad packed varint")
+		}
+		*dst = append(*dst, v)
+		buf = buf[n:]
+	}
+	return nil
+}
+
+func parsePprof(data []byte) (*pprofData, error) {
+	p := &pprofData{
+		locFunc:  map[uint64]uint64{},
+		funcName: map[uint64]int64{},
+	}
+	err := scanProto(data, func(f protoField) error {
+		switch f.num {
+		case 1: // sample_type
+			var vt pprofValueType
+			if err := scanProto(f.data, func(g protoField) error {
+				switch g.num {
+				case 1:
+					vt.typ = int64(g.vi)
+				case 2:
+					vt.unit = int64(g.vi)
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			p.sampleTypes = append(p.sampleTypes, vt)
+		case 2: // sample
+			var sm pprofSample
+			var raw []uint64
+			if err := scanProto(f.data, func(g protoField) error {
+				switch g.num {
+				case 1:
+					return repeatedUvarints(g, &sm.locs)
+				case 2:
+					return repeatedUvarints(g, &raw)
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			sm.values = make([]int64, len(raw))
+			for i, v := range raw {
+				sm.values[i] = int64(v)
+			}
+			p.samples = append(p.samples, sm)
+		case 4: // location
+			var id, fid uint64
+			if err := scanProto(f.data, func(g protoField) error {
+				switch g.num {
+				case 1:
+					id = g.vi
+				case 4: // line — first one is the leaf frame's line
+					if fid == 0 {
+						return scanProto(g.data, func(l protoField) error {
+							if l.num == 1 && fid == 0 {
+								fid = l.vi
+							}
+							return nil
+						})
+					}
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			if id != 0 {
+				p.locFunc[id] = fid
+			}
+		case 5: // function
+			var id uint64
+			var name int64
+			if err := scanProto(f.data, func(g protoField) error {
+				switch g.num {
+				case 1:
+					id = g.vi
+				case 2:
+					name = int64(g.vi)
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			if id != 0 {
+				p.funcName[id] = name
+			}
+		case 6: // string_table
+			p.strings = append(p.strings, string(f.data))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(p.sampleTypes) == 0 {
+		return nil, fmt.Errorf("no sample types (not a pprof profile?)")
+	}
+	return p, nil
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"testing"
+)
+
+// TestReadProfileSummaryHeap parses a real heap profile written by
+// runtime/pprof — the exact artifact the corpus runner captures per scenario.
+func TestReadProfileSummaryHeap(t *testing.T) {
+	// Allocate something attributable so the profile is non-trivial.
+	sink := make([][]byte, 64)
+	for i := range sink {
+		sink[i] = make([]byte, 64<<10)
+	}
+	runtime.GC()
+
+	path := filepath.Join(t.TempDir(), "heap.pprof")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sum, err := ReadProfileSummary(path)
+	if err != nil {
+		t.Fatalf("ReadProfileSummary: %v", err)
+	}
+	if sum.SampleType != "inuse_space" {
+		t.Fatalf("sample type = %q, want inuse_space", sum.SampleType)
+	}
+	if sum.Unit != "bytes" {
+		t.Fatalf("unit = %q, want bytes", sum.Unit)
+	}
+	if sum.Total <= 0 {
+		t.Fatalf("total = %d, want > 0", sum.Total)
+	}
+	if len(sum.Frames) == 0 {
+		t.Fatal("no frames parsed")
+	}
+	// Frames are sorted hottest-first and Top truncates.
+	for i := 1; i < len(sum.Frames); i++ {
+		if sum.Frames[i].Value > sum.Frames[i-1].Value {
+			t.Fatalf("frames not sorted at %d", i)
+		}
+	}
+	if top := sum.Top(3); len(top) > 3 {
+		t.Fatalf("Top(3) = %d frames", len(top))
+	}
+	if top := sum.Top(len(sum.Frames) + 10); len(top) != len(sum.Frames) {
+		t.Fatalf("Top over-length = %d, want %d", len(top), len(sum.Frames))
+	}
+	_ = sink
+}
+
+func TestReadProfileSummaryRejectsJunk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.pprof")
+	if err := os.WriteFile(path, []byte("this is not a profile"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadProfileSummary(path); err == nil {
+		t.Fatal("want error for non-profile input")
+	}
+	if _, err := ReadProfileSummary(filepath.Join(t.TempDir(), "absent.pprof")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
+
+func TestDiffProfiles(t *testing.T) {
+	prev := &ProfileSummary{Frames: []Frame{
+		{Name: "pack", Value: 100},
+		{Name: "kernel", Value: 900},
+		{Name: "gone", Value: 50},
+	}}
+	cur := &ProfileSummary{Frames: []Frame{
+		{Name: "pack", Value: 400},
+		{Name: "kernel", Value: 910},
+		{Name: "new", Value: 5},
+	}}
+	deltas := DiffProfiles(prev, cur, 10)
+	if len(deltas) != 4 {
+		t.Fatalf("deltas = %d, want 4", len(deltas))
+	}
+	// Largest absolute change first: pack +300.
+	if deltas[0].Name != "pack" || deltas[0].Difference != 300 {
+		t.Fatalf("deltas[0] = %+v", deltas[0])
+	}
+	byName := map[string]FrameDelta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if d := byName["gone"]; d.Prev != 50 || d.Cur != 0 || d.Difference != -50 {
+		t.Fatalf("gone = %+v", d)
+	}
+	if d := byName["new"]; d.Prev != 0 || d.Cur != 5 || d.Difference != 5 {
+		t.Fatalf("new = %+v", d)
+	}
+	// Truncation keeps the biggest movers.
+	top2 := DiffProfiles(prev, cur, 2)
+	if len(top2) != 2 || top2[0].Name != "pack" || top2[1].Name != "gone" {
+		t.Fatalf("top2 = %+v", top2)
+	}
+}
+
+func TestDiffProfilesEmptyPrev(t *testing.T) {
+	cur := &ProfileSummary{Frames: []Frame{{Name: "a", Value: 7}}}
+	deltas := DiffProfiles(&ProfileSummary{}, cur, 5)
+	if len(deltas) != 1 || deltas[0].Difference != 7 {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+}

@@ -35,6 +35,7 @@ type ResidentBenchRow struct {
 
 // ResidentBenchResult is the full `cake-bench resident` measurement.
 type ResidentBenchResult struct {
+	Envelope
 	Cores     int                `json:"cores"`
 	GateShape string             `json:"gate_shape"`
 	Rows      []ResidentBenchRow `json:"rows"`
@@ -155,7 +156,7 @@ func ResidentBench(cores int, quick bool) (*ResidentBenchResult, error) {
 		// win is expected to be modest.
 		{"batch-48x576x576", "f32", 48, 576, 576, 60, false},
 	}
-	res := &ResidentBenchResult{Cores: cores, GateShape: ResidentGateShape}
+	res := &ResidentBenchResult{Envelope: NewEnvelope("resident"), Cores: cores, GateShape: ResidentGateShape}
 	rng := rand.New(rand.NewSource(7))
 	for _, sh := range shapes {
 		reps := sh.reps / scale

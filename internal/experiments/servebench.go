@@ -35,6 +35,7 @@ type ServeTierRow struct {
 // requests wait behind tens-of-milliseconds large GEMMs; the engine's
 // direct tiny path never enters that queue.
 type ServeBenchResult struct {
+	Envelope
 	Cores            int            `json:"cores"`
 	Clients          int            `json:"clients"`
 	ClientMix        string         `json:"client_mix"`
@@ -276,6 +277,7 @@ func ServeBench(cores, clients int, dur time.Duration, quick bool) (*ServeBenchR
 	}
 
 	res := &ServeBenchResult{
+		Envelope:     NewEnvelope("serve"),
 		Cores:        cores,
 		Clients:      clients,
 		ClientMix:    ServeClientMix,

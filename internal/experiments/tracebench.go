@@ -38,6 +38,7 @@ type ExecTimeline struct {
 // same skewed shape through the CAKE pipelined executor and the GOTO
 // baseline, each with a full span recorder attached.
 type TraceBenchResult struct {
+	Envelope
 	M     int          `json:"m"`
 	K     int          `json:"k"`
 	N     int          `json:"n"`
@@ -86,7 +87,7 @@ func TraceBench(cores int, quick bool) (*TraceBenchResult, error) {
 	c := matrix.New[float32](m, n)
 	flops := matrix.GemmFlops(m, n, k)
 
-	res := &TraceBenchResult{M: m, K: k, N: n, Cores: cores}
+	res := &TraceBenchResult{Envelope: NewEnvelope("bwtimeline"), M: m, K: k, N: n, Cores: cores}
 
 	cakeRec := obs.NewRecorder(cores, 0)
 	ce, err := core.NewExecutor[float32](cakeCfg, nil, core.WithTrace(cakeRec))

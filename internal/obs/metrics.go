@@ -176,6 +176,7 @@ func WritePrometheus(w io.Writer) {
 
 	writeEnginePrometheus(w)
 	writeResidentPrometheus(w)
+	writeCorpusPrometheus(w)
 
 	promMu.Lock()
 	hooks := make([]func(io.Writer), len(promHooks))

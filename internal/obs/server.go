@@ -122,6 +122,7 @@ func builtinRoutes() []DebugRoute {
 		{"/debug/trace.json", "Chrome trace (load in Perfetto)", http.HandlerFunc(serveTrace)},
 		{"/debug/timeline.json", "bandwidth timelines (?buckets=N)", http.HandlerFunc(serveTimeline)},
 		{"/debug/conformance.json", "latest conformance report", http.HandlerFunc(serveConformance)},
+		{"/debug/corpus.json", "latest corpus epoch + per-cell trend verdicts", http.HandlerFunc(serveCorpus)},
 	}
 }
 

@@ -1,0 +1,75 @@
+package platform
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// Fingerprint identifies the machine a benchmark artifact was measured on.
+// Performance numbers do not transfer between hosts ("DGEMM performance is
+// data-dependent" shows drift across machines as well as shapes), so every
+// schema-versioned benchmark envelope carries one, and the trend analyzer
+// only compares epochs whose fingerprints match (Key).
+type Fingerprint struct {
+	Hostname  string `json:"hostname,omitempty"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	Cores     int    `json:"cores"`
+	CPUModel  string `json:"cpu_model,omitempty"`
+	L1Bytes   int64  `json:"l1_bytes"`
+	L2Bytes   int64  `json:"l2_bytes"`
+	LLCBytes  int64  `json:"llc_bytes"`
+	GoVersion string `json:"go_version"`
+}
+
+// HostFingerprint samples the running machine: topology from DetectHost
+// (sysfs cache sizes with conservative fallbacks), CPU model from
+// /proc/cpuinfo when readable, plus hostname and toolchain identity.
+func HostFingerprint(cores int) Fingerprint {
+	pl := DetectHost(cores)
+	f := Fingerprint{
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		Cores:     cores,
+		L1Bytes:   pl.L1Bytes,
+		L2Bytes:   pl.L2Bytes,
+		LLCBytes:  pl.LLCBytes,
+		GoVersion: runtime.Version(),
+	}
+	if hn, err := os.Hostname(); err == nil {
+		f.Hostname = hn
+	}
+	f.CPUModel = cpuModelName()
+	return f
+}
+
+// Key collapses the fingerprint to a comparison identity: two epochs with the
+// same key were measured on interchangeable hardware and may be judged
+// against each other. The Go version is deliberately excluded — toolchain
+// upgrades are exactly the kind of slow drift the trend analyzer should see,
+// not silently partition away.
+func (f Fingerprint) Key() string {
+	return fmt.Sprintf("%s|%s|%s|%d|%s|%d|%d|%d",
+		f.Hostname, f.OS, f.Arch, f.Cores, f.CPUModel, f.L1Bytes, f.L2Bytes, f.LLCBytes)
+}
+
+// cpuModelName reads the first "model name" line from /proc/cpuinfo
+// (linux-only; empty elsewhere or on unreadable files).
+func cpuModelName() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		key, val, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		if strings.TrimSpace(key) == "model name" {
+			return strings.TrimSpace(val)
+		}
+	}
+	return ""
+}

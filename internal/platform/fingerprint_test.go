@@ -1,0 +1,41 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHostFingerprintPopulated(t *testing.T) {
+	f := HostFingerprint(2)
+	if f.OS == "" || f.Arch == "" || f.GoVersion == "" {
+		t.Fatalf("fingerprint missing runtime identity: %+v", f)
+	}
+	if f.Cores != 2 {
+		t.Fatalf("cores = %d, want 2", f.Cores)
+	}
+	if f.L1Bytes <= 0 || f.LLCBytes <= 0 {
+		t.Fatalf("cache sizes must fall back to positive defaults: %+v", f)
+	}
+}
+
+func TestFingerprintKeyDiscriminates(t *testing.T) {
+	a := HostFingerprint(1)
+	b := a
+	if a.Key() != b.Key() {
+		t.Fatal("identical fingerprints must share a key")
+	}
+	b.Cores = a.Cores + 1
+	if a.Key() == b.Key() {
+		t.Fatal("core-count change must change the key")
+	}
+	// Toolchain identity is excluded on purpose: a Go upgrade is a trend the
+	// analyzer should see, not a host partition.
+	c := a
+	c.GoVersion = "go999.0"
+	if a.Key() != c.Key() {
+		t.Fatal("go version must not partition hosts")
+	}
+	if !strings.Contains(a.Key(), a.OS) {
+		t.Fatalf("key %q should embed the OS", a.Key())
+	}
+}

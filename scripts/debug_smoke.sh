@@ -62,6 +62,7 @@ probe /debug/conformance.json json
 probe /debug/vars json
 probe /debug/trace.json json
 probe /debug/timeline.json json
+probe /debug/corpus.json json
 
 # The request families must actually be exported, not just the page served.
 if ! curl -sS "http://$ADDR/metrics" | grep -q '^cake_requests_total'; then
@@ -70,6 +71,14 @@ if ! curl -sS "http://$ADDR/metrics" | grep -q '^cake_requests_total'; then
 fi
 if ! curl -sS "http://$ADDR/metrics" | grep -q '^cake_slo_burn_rate'; then
 	echo "debug_smoke: /metrics is missing cake_slo_burn_rate" >&2
+	exit 1
+fi
+if ! curl -sS "http://$ADDR/metrics" | grep -q '^cake_corpus_cell_gflops'; then
+	echo "debug_smoke: /metrics is missing cake_corpus_cell_gflops" >&2
+	exit 1
+fi
+if ! curl -sS "http://$ADDR/metrics" | grep -q '^cake_corpus_cell_trend'; then
+	echo "debug_smoke: /metrics is missing cake_corpus_cell_trend" >&2
 	exit 1
 fi
 

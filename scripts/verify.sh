@@ -46,9 +46,29 @@ go run ./cmd/cake-bench -quick -csv "$RESIDENT_TMP" resident
 rm -rf "$RESIDENT_TMP"
 
 # Deterministic self-check of the benchmark regression gate: the committed
-# baseline compared against itself must always pass. Catches artifact-format
-# drift without benchmarking the (noisy) CI host.
-echo "== cake-bench check -candidate results/baseline"
-go run ./cmd/cake-bench check -candidate results/baseline
+# baseline compared against itself must always pass, and the machine-readable
+# summary must say so. Catches artifact-format drift without benchmarking the
+# (noisy) CI host. The committed corpus history feeds the trend verdicts; on
+# a different host its cells judge as new-cell, which never gates.
+echo "== cake-bench check -candidate results/baseline -json"
+CHECK_OUT=$(mktemp)
+go run ./cmd/cake-bench check -candidate results/baseline -json >"$CHECK_OUT"
+if ! grep -q '"ok": true' "$CHECK_OUT"; then
+	echo "verify: check -json did not report ok:" >&2
+	cat "$CHECK_OUT" >&2
+	rm -f "$CHECK_OUT"
+	exit 1
+fi
+rm -f "$CHECK_OUT"
+
+# Corpus micro smoke: the 2-cell grid must run end to end and append a
+# well-formed epoch to a throwaway store (the committed results/corpus
+# trajectory is never touched here).
+echo "== cake-bench corpus -quick -grid micro (throwaway store)"
+CORPUS_TMP=$(mktemp -d)
+go run ./cmd/cake-bench corpus -quick -grid micro -runs 1 \
+	-store "$CORPUS_TMP/store" -out "$CORPUS_TMP/BENCH_corpus.json" -report
+ls "$CORPUS_TMP"/store/0001-*.json >/dev/null
+rm -rf "$CORPUS_TMP"
 
 echo "verify: OK"
