@@ -311,6 +311,72 @@ func EngineGemmScaled[T Scalar](e *Engine, c, a, b *Matrix[T], transA, transB bo
 	return engine.GemmScaled(e, c, a, b, transA, transB, alpha, beta)
 }
 
+// StridedBatch describes a uniform batched GEMM whose operands sit at
+// constant element strides in flat backing slices (call i's A starts at
+// i·StrideA, and so on — the im2col / attention layout). A zero stride
+// shares that operand across the whole batch, which the batch path packs
+// exactly once.
+type StridedBatch[T Scalar] = engine.StridedBatch[T]
+
+// ErrBatchShape: batch call slices empty or of mismatched lengths.
+var ErrBatchShape = core.ErrBatchShape
+
+// GemmBatch computes C[i] += A[i]×B[i] for every i through the process-wide
+// engine as ONE request: the whole batch takes a single admission-queue slot
+// and a single executor lease, and operands shared between consecutive calls
+// (the same *Matrix pointer) are packed once. Results are bit-exact with
+// looping Gemm over the calls.
+func GemmBatch[T Scalar](cs, as, bs []*Matrix[T]) (Stats, error) {
+	e, err := DefaultEngine()
+	if err != nil {
+		return Stats{}, err
+	}
+	return engine.GemmBatch(e, cs, as, bs)
+}
+
+// GemmBatchScaled computes C[i] = α·op(A[i])×op(B[i]) + β·C[i] for every i
+// through the process-wide engine as one request. Transposes and scalars are
+// batch-uniform.
+func GemmBatchScaled[T Scalar](cs, as, bs []*Matrix[T], transA, transB bool, alpha, beta T) (Stats, error) {
+	e, err := DefaultEngine()
+	if err != nil {
+		return Stats{}, err
+	}
+	return engine.GemmBatchScaled(e, cs, as, bs, transA, transB, alpha, beta)
+}
+
+// EngineGemmBatch computes C[i] += A[i]×B[i] for every i through an engine
+// as one request (one admission, one lease, shared operands packed once).
+func EngineGemmBatch[T Scalar](e *Engine, cs, as, bs []*Matrix[T]) (Stats, error) {
+	return engine.GemmBatch(e, cs, as, bs)
+}
+
+// EngineGemmBatchScaled computes C[i] = α·op(A[i])×op(B[i]) + β·C[i] for
+// every i through an engine as one request.
+func EngineGemmBatchScaled[T Scalar](e *Engine, cs, as, bs []*Matrix[T], transA, transB bool, alpha, beta T) (Stats, error) {
+	return engine.GemmBatchScaled(e, cs, as, bs, transA, transB, alpha, beta)
+}
+
+// EngineGemmBatchStrided computes C[i] = α·A[i]×B[i] + β·C[i] over a strided
+// batch layout as one engine request (see StridedBatch).
+func EngineGemmBatchStrided[T Scalar](e *Engine, sb StridedBatch[T], alpha, beta T) (Stats, error) {
+	return engine.GemmBatchStrided(e, sb, alpha, beta)
+}
+
+// EngineGemmBatchResident computes C[i] += A[i]×B_id for every i against a
+// resident operand as one engine request: the operand is pinned once before
+// the first call and released after the last, so eviction can never split a
+// batch, and no call pays B packing.
+func EngineGemmBatchResident[T Scalar](e *Engine, cs, as []*Matrix[T], id string) (Stats, error) {
+	return engine.GemmBatchResident(e, cs, as, id)
+}
+
+// EngineGemmBatchResidentScaled computes C[i] = α·op(A[i])×B_id + β·C[i]
+// against a resident operand as one engine request.
+func EngineGemmBatchResidentScaled[T Scalar](e *Engine, cs, as []*Matrix[T], id string, transA bool, alpha, beta T) (Stats, error) {
+	return engine.GemmBatchResidentScaled(e, cs, as, id, transA, alpha, beta)
+}
+
 // EngineRegisterB packs the weight operand B (stored K×N) once into the
 // engine's per-tier CAKE panel layouts and keeps the panels resident across
 // requests under the engine's byte budget (EngineOptions.ResidentBudgetBytes,

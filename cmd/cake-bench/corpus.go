@@ -25,7 +25,7 @@ import (
 func runCorpus(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("corpus", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "scale problem sizes down for fast runs")
-	grid := fs.String("grid", "full", "grid to run: full | micro (2-cell CI smoke)")
+	grid := fs.String("grid", "full", "grid to run: full | micro (4-cell CI smoke)")
 	runs := fs.Int("runs", 3, "runs per cell in the worst-of-N protocol")
 	store := fs.String("store", filepath.Join("results", "corpus"), "append-only epoch store directory")
 	out := fs.String("out", "BENCH_corpus.json", "unified envelope output path")

@@ -29,7 +29,7 @@ func TestRunCorpusMicroAppendsEpochs(t *testing.T) {
 	if err != nil {
 		t.Fatalf("BENCH_corpus.json unreadable: %v", err)
 	}
-	if epoch.Seq != 1 || len(epoch.Cells) != 2 || epoch.Artifact != "corpus" {
+	if epoch.Seq != 1 || len(epoch.Cells) != 4 || epoch.Artifact != "corpus" {
 		t.Fatalf("epoch = seq %d, %d cells, artifact %q", epoch.Seq, len(epoch.Cells), epoch.Artifact)
 	}
 
@@ -49,7 +49,8 @@ func TestRunCorpusMicroAppendsEpochs(t *testing.T) {
 	if err != nil {
 		t.Fatalf("REPORT.md: %v", err)
 	}
-	for _, want := range []string{"# Corpus trajectory report", "tiny/fresh/f32", "small/resident/f32"} {
+	for _, want := range []string{"# Corpus trajectory report", "tiny/fresh/f32", "small/resident/f32",
+		"tiny/batch/f32", "small/batch/f32"} {
 		if !strings.Contains(string(report), want) {
 			t.Fatalf("REPORT.md missing %q:\n%s", want, report)
 		}
@@ -127,6 +128,44 @@ func TestRunCheckTrendRegressionGates(t *testing.T) {
 	}
 	if sum.Trend.Cells[0].Verdict != benchgate.VerdictRegressed {
 		t.Fatalf("trend verdict = %s", sum.Trend.Cells[0].Verdict)
+	}
+}
+
+func TestRunCheckTrendAdvisoryReportsWithoutGating(t *testing.T) {
+	artifacts := t.TempDir()
+	writeGateArtifacts(t, artifacts, gateGemmJSON, gateTimelineJSON)
+	store := filepath.Join(t.TempDir(), "corpus")
+	writeTrendStore(t, store, 60) // 40% cliff in the history
+
+	var buf bytes.Buffer
+	err := runCheck([]string{"-baseline", artifacts, "-candidate", artifacts,
+		"-corpus", store, "-trend-advisory", "-json"}, &buf)
+	if err != nil {
+		t.Fatalf("advisory trend regression failed the gate: %v\n%s", err, buf.String())
+	}
+	var sum benchgate.Summary
+	if err := json.Unmarshal(buf.Bytes(), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if !sum.OK || sum.Regressions != 0 {
+		t.Fatalf("summary = ok=%v regressions=%d, want passing", sum.OK, sum.Regressions)
+	}
+	// The verdict itself must survive advisory mode: the report still says
+	// regressed, only the gate ignores it.
+	if sum.Trend.Cells[0].Verdict != benchgate.VerdictRegressed {
+		t.Fatalf("trend verdict = %s, want regressed preserved", sum.Trend.Cells[0].Verdict)
+	}
+	found := false
+	for _, f := range sum.Findings {
+		if f.File == "corpus-history" && strings.HasPrefix(f.Detail, "advisory:") {
+			found = true
+			if f.Regression {
+				t.Fatalf("advisory finding still marked regression: %+v", f)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no advisory-prefixed corpus finding in %+v", sum.Findings)
 	}
 }
 

@@ -63,6 +63,32 @@ func goodOkFlag(fail bool) error {
 	return nil
 }
 
+// goodHeldAcrossLoop is the batched-dispatch shape: ONE lease held across a
+// loop of N work items (one admission, one lease, N multiplies), released
+// once in a defer after the whole loop rather than re-acquired per
+// iteration.
+func goodHeldAcrossLoop(items []int) {
+	s := lease()
+	defer pool.Put(s)
+	for range items {
+		s.Work()
+	}
+}
+
+// goodHeldAcrossLoopErr bails out mid-batch: the deferred release still
+// covers every early-return path out of the loop.
+func goodHeldAcrossLoopErr(items []int, fail bool) error {
+	s := lease()
+	defer pool.Put(s)
+	for range items {
+		s.Work()
+		if fail {
+			return errBoom
+		}
+	}
+	return nil
+}
+
 func goodTransfer() *scratch {
 	s := lease()
 	return s

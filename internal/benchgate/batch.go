@@ -1,0 +1,148 @@
+package benchgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+// MinBatchSpeedup is the absolute floor on the batched-vs-looped GEMMs/s
+// ratio for the gate row: dispatching 32 tiny shared-weight GEMMs as one
+// GemmBatch (one admission, one lease, one B pack) must keep beating 32
+// independent requests by at least this factor. Absolute (not relative to
+// the baseline file) because the ratio is the batch path's claim under
+// test, and set below healthy measurements so only the amortization
+// breaking — not machine noise — can trip it.
+const MinBatchSpeedup = 1.3
+
+// LoadBatch reads a BENCH_batch.json.
+func LoadBatch(path string) (experiments.BatchBenchResult, error) {
+	var r experiments.BatchBenchResult
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("benchgate: %s: %w", path, err)
+	}
+	if len(r.Rows) == 0 {
+		return r, fmt.Errorf("benchgate: %s has no rows", path)
+	}
+	return r, nil
+}
+
+// batchGateRow finds the row carrying the absolute speedup floor.
+func batchGateRow(r experiments.BatchBenchResult) (experiments.BatchBenchRow, bool) {
+	for _, row := range r.Rows {
+		if row.Gate {
+			return row, true
+		}
+	}
+	return experiments.BatchBenchRow{}, false
+}
+
+// CompareBatch judges a candidate batch benchmark against the baseline.
+// Gated metrics: per-row batched GEMMs/s (relative threshold vs baseline)
+// and the gate row's batched-vs-looped speedup (absolute ≥ MinBatchSpeedup
+// floor). The looped side's own throughput and the latency percentiles are
+// the contrast, not the claim.
+func CompareBatch(base, cand experiments.BatchBenchResult, opt Options) []Finding {
+	var out []Finding
+	candBy := map[string]experiments.BatchBenchRow{}
+	for _, row := range cand.Rows {
+		candBy[row.Shape] = row
+	}
+	for _, b := range base.Rows {
+		limit := b.BatchGemmsPerSec * (1 - opt.Threshold)
+		c, ok := candBy[b.Shape]
+		if !ok {
+			out = append(out, Finding{
+				File: "BENCH_batch.json", Key: b.Shape, Metric: "gemms_per_sec",
+				Base: b.BatchGemmsPerSec, Candidate: 0, Limit: limit, Regression: true,
+				Detail: "shape missing from candidate",
+			})
+			continue
+		}
+		out = append(out, Finding{
+			File: "BENCH_batch.json", Key: b.Shape, Metric: "gemms_per_sec",
+			Base: b.BatchGemmsPerSec, Candidate: c.BatchGemmsPerSec, Limit: limit,
+			Regression: c.BatchGemmsPerSec < limit,
+			Detail:     fmt.Sprintf("allowed drop %.0f%%", 100*opt.Threshold),
+		})
+	}
+	bGate, bOK := batchGateRow(base)
+	cGate, cOK := batchGateRow(cand)
+	switch {
+	case !cOK:
+		out = append(out, Finding{
+			File: "BENCH_batch.json", Key: "gate", Metric: "speedup",
+			Base: bGate.Speedup, Candidate: 0, Limit: MinBatchSpeedup, Regression: true,
+			Detail: "gate row missing from candidate",
+		})
+	default:
+		var baseSpeedup float64
+		if bOK {
+			baseSpeedup = bGate.Speedup
+		}
+		out = append(out, Finding{
+			File: "BENCH_batch.json", Key: cGate.Shape, Metric: "speedup",
+			Base: baseSpeedup, Candidate: cGate.Speedup, Limit: MinBatchSpeedup,
+			Regression: cGate.Speedup < MinBatchSpeedup,
+			Detail:     "batched GEMMs/s over per-call dispatch (absolute floor)",
+		})
+	}
+	return out
+}
+
+// sampleBatch runs the batch benchmark `runs` times.
+func sampleBatch(cores int, quick bool, runs int) ([]*experiments.BatchBenchResult, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	out := make([]*experiments.BatchBenchResult, 0, runs)
+	for i := 0; i < runs; i++ {
+		r, err := experiments.BatchBench(cores, quick)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// FreshBatch measures the candidate side: the run with the best gate-row
+// speedup — contention noise slows the batched and looped sides alike, but
+// a perturbed looped side inflates the ratio, so judging the best-ratio run
+// against an absolute floor stays conservative where it matters (the floor
+// only trips when no run clears it).
+func FreshBatch(cores int, quick bool, runs int) (experiments.BatchBenchResult, error) {
+	return pickBatch(cores, quick, runs, func(a, b float64) bool { return a > b })
+}
+
+// BaselineBatch measures the baseline side: the run with the worst gate-row
+// speedup, so the committed reference is a floor every healthy run can beat.
+func BaselineBatch(cores int, quick bool, runs int) (experiments.BatchBenchResult, error) {
+	return pickBatch(cores, quick, runs, func(a, b float64) bool { return a < b })
+}
+
+func pickBatch(cores int, quick bool, runs int, better func(a, b float64) bool) (experiments.BatchBenchResult, error) {
+	samples, err := sampleBatch(cores, quick, runs)
+	if err != nil {
+		return experiments.BatchBenchResult{}, err
+	}
+	gateSpeedup := func(r *experiments.BatchBenchResult) float64 {
+		if row, ok := batchGateRow(*r); ok {
+			return row.Speedup
+		}
+		return 0
+	}
+	pick := samples[0]
+	for _, s := range samples[1:] {
+		if better(gateSpeedup(s), gateSpeedup(pick)) {
+			pick = s
+		}
+	}
+	return *pick, nil
+}

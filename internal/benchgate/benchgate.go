@@ -261,6 +261,18 @@ func CompareDirs(baseDir, candDir string, opt Options) (Result, error) {
 		}
 		res.Findings = append(res.Findings, CompareResident(br, cr, opt)...)
 	}
+	// Batch (one-lease batched dispatch) likewise.
+	if _, err := os.Stat(filepath.Join(baseDir, "BENCH_batch.json")); err == nil {
+		bb, err := LoadBatch(filepath.Join(baseDir, "BENCH_batch.json"))
+		if err != nil {
+			return Result{}, err
+		}
+		cb, err := LoadBatch(filepath.Join(candDir, "BENCH_batch.json"))
+		if err != nil {
+			return Result{}, err
+		}
+		res.Findings = append(res.Findings, CompareBatch(bb, cb, opt)...)
+	}
 	// Obs (request-observability overhead) likewise.
 	if _, err := os.Stat(filepath.Join(baseDir, "BENCH_obs.json")); err == nil {
 		bo, err := LoadObs(filepath.Join(baseDir, "BENCH_obs.json"))

@@ -2,11 +2,15 @@
 // diffing one fresh measurement against one committed file, the analyzer
 // judges each grid cell's latest epoch against the CURVE of its own history —
 // a robust (median) baseline over the last K epochs, with noise bands scaled
-// by the cell's own recorded run-to-run variation. Two detectors fire
-// independently: a step change (the latest epoch fell out of the band below
-// the robust baseline) and a slow drift (a fitted decline across the window
-// that no single epoch-to-epoch step would trip). Cells whose intra-epoch
-// noise is too high to judge are reported as noisy rather than gated, and
+// by the cell's own recorded run-to-run variation — both the intra-epoch CoV
+// and the inter-epoch spread the prior window has exhibited (hosts that
+// oscillate between performance modes show tiny CoV within a phase but 2x
+// swings between epochs). Two detectors fire independently: a step change
+// (the latest epoch fell out of the band below the robust baseline) and a
+// slow drift (a fitted decline across the window that no single
+// epoch-to-epoch step would trip). Cells whose intra-epoch noise or
+// historical dispersion is too high to judge are reported as noisy rather
+// than gated, and
 // only epochs from the same host fingerprint are compared — "DGEMM
 // performance is data-dependent" shows cross-host numbers never transfer.
 package benchgate
@@ -14,6 +18,7 @@ package benchgate
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 
@@ -45,6 +50,23 @@ type TrendOptions struct {
 	// NoisyCoV marks a cell unjudgeable: when its median intra-epoch CoV
 	// exceeds this, the verdict is noisy and the cell never gates.
 	NoisyCoV float64
+	// SpreadScale multiplies the prior window's relative inter-epoch spread
+	// (sample stddev of the prior points over their median) into the STEP
+	// detector's band. Intra-epoch CoV measures back-to-back runs inside one
+	// scenario phase; on hosts that oscillate between performance modes on a
+	// minutes timescale (shared VMs, frequency scaling) it badly
+	// underestimates epoch-to-epoch variation, and a step gate scaled only
+	// by CoV flags every mode flip as a regression. The spread term widens
+	// the band to the dispersion the history has actually exhibited; on a
+	// stable host it is ~0 and changes nothing. It deliberately does NOT
+	// widen the drift band — drift already integrates over the window, and
+	// spread inflation there would mask genuine slow declines.
+	SpreadScale float64
+	// NoisySpread marks a cell unjudgeable from its history: when the prior
+	// window's relative inter-epoch spread exceeds this, the verdict is
+	// noisy and the cell never gates (a history swinging 2x between modes
+	// cannot distinguish a real cliff from the slow mode).
+	NoisySpread float64
 	// SameHostOnly restricts the history to epochs whose host fingerprint
 	// key matches the latest epoch's.
 	SameHostOnly bool
@@ -52,7 +74,8 @@ type TrendOptions struct {
 
 // DefaultTrendOptions returns the analyzer's default tuning.
 func DefaultTrendOptions() TrendOptions {
-	return TrendOptions{Window: 8, MinBand: 0.05, BandScale: 3, NoisyCoV: 0.20, SameHostOnly: true}
+	return TrendOptions{Window: 8, MinBand: 0.05, BandScale: 3, NoisyCoV: 0.20,
+		SpreadScale: 3, NoisySpread: 0.20, SameHostOnly: true}
 }
 
 // CellTrend is one grid cell's judged trajectory.
@@ -64,8 +87,9 @@ type CellTrend struct {
 	Seqs          []int   `json:"seqs"`
 	Baseline      float64 `json:"baseline"` // median of the prior window
 	Latest        float64 `json:"latest"`
-	Band          float64 `json:"band"` // relative band the verdicts used
-	CoV           float64 `json:"cov"`  // median intra-epoch CoV
+	Band          float64 `json:"band"`             // relative band the step verdict used
+	CoV           float64 `json:"cov"`              // median intra-epoch CoV
+	Spread        float64 `json:"spread,omitempty"` // relative inter-epoch spread of the prior window
 	DriftPerEpoch float64 `json:"drift_per_epoch,omitempty"`
 	Verdict       Verdict `json:"verdict"`
 	Kind          string  `json:"kind,omitempty"` // step | drift (when regressed)
@@ -146,6 +170,12 @@ func AnalyzeTrend(history []*experiments.CorpusEpoch, opt TrendOptions) (TrendRe
 	if opt.NoisyCoV <= 0 {
 		opt.NoisyCoV = def.NoisyCoV
 	}
+	if opt.SpreadScale <= 0 {
+		opt.SpreadScale = def.SpreadScale
+	}
+	if opt.NoisySpread <= 0 {
+		opt.NoisySpread = def.NoisySpread
+	}
 
 	latest := history[len(history)-1]
 	hostKey := latest.Host.Key()
@@ -207,13 +237,29 @@ func judgeCell(key string, hist []float64, seqs []int, covs []float64, opt Trend
 	prior := hist[:len(hist)-1]
 	ct.Baseline = median(prior)
 	ct.CoV = median(covs)
-	ct.Band = opt.MinBand
-	if b := opt.BandScale * ct.CoV; b > ct.Band {
+	// driftBand covers intra-epoch (run-to-run) noise only; the step band
+	// below additionally covers the inter-epoch spread the prior window has
+	// exhibited. The latest point is excluded from the spread estimate so a
+	// real cliff cannot widen its own allowance.
+	driftBand := opt.MinBand
+	if b := opt.BandScale * ct.CoV; b > driftBand {
+		driftBand = b
+	}
+	if len(prior) >= 2 && ct.Baseline > 0 {
+		ct.Spread = stddev(prior) / ct.Baseline
+	}
+	ct.Band = driftBand
+	if b := opt.SpreadScale * ct.Spread; b > ct.Band {
 		ct.Band = b
 	}
 	if ct.CoV > opt.NoisyCoV {
 		ct.Verdict = VerdictNoisy
 		ct.Detail = fmt.Sprintf("intra-epoch CoV %.2f exceeds %.2f: too noisy to judge", ct.CoV, opt.NoisyCoV)
+		return ct
+	}
+	if ct.Spread > opt.NoisySpread {
+		ct.Verdict = VerdictNoisy
+		ct.Detail = fmt.Sprintf("inter-epoch spread %.2f exceeds %.2f: history too dispersed to judge", ct.Spread, opt.NoisySpread)
 		return ct
 	}
 	if ct.Baseline <= 0 {
@@ -239,15 +285,24 @@ func judgeCell(key string, hist []float64, seqs []int, covs []float64, opt Trend
 
 	// Drift detector: a fitted per-epoch slope whose cumulative decline over
 	// the window exceeds the band, even though each step stayed inside it.
-	// Needs enough points for the fit to mean anything.
+	// The spread term suppresses spurious drifts fitted through mode flips
+	// (an alternating fast/slow history that happens to end slow) without
+	// hiding genuine monotone declines: a pure linear drift over a window of
+	// n prior points has stddev ~= 0.32n x slope, so its cumulative decline
+	// (n x slope) always clears SpreadScale=3 times its own spread, while a
+	// bimodal history's spread dwarfs any slope the fit extracts from it.
 	if len(hist) >= 4 {
+		driftLimit := driftBand
+		if b := opt.SpreadScale * ct.Spread; b > driftLimit {
+			driftLimit = b
+		}
 		slope := fitSlope(hist) / ct.Baseline // relative decline per epoch
 		ct.DriftPerEpoch = slope
-		if total := slope * float64(len(hist)-1); total < -ct.Band {
+		if total := slope * float64(len(hist)-1); total < -driftLimit {
 			ct.Verdict = VerdictRegressed
 			ct.Kind = "drift"
 			ct.Detail = fmt.Sprintf("declining %.2f%%/epoch, %.1f%% over the %d-epoch window (band %.1f%%)",
-				-100*slope, -100*total, len(hist), 100*ct.Band)
+				-100*slope, -100*total, len(hist), 100*driftLimit)
 			return ct
 		}
 	}
@@ -275,6 +330,25 @@ func fitSlope(vals []float64) float64 {
 		return 0
 	}
 	return (n*sumXY - sumX*sumY) / den
+}
+
+// stddev is the sample standard deviation (0 for fewer than two points).
+func stddev(vals []float64) float64 {
+	n := float64(len(vals))
+	if n < 2 {
+		return 0
+	}
+	var mean float64
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= n
+	var ss float64
+	for _, v := range vals {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / (n - 1))
 }
 
 // median of a sample (0 for empty input).

@@ -132,6 +132,52 @@ func TestTrendNoisyCellNeverGates(t *testing.T) {
 	}
 }
 
+func TestTrendBimodalSpreadWidensStepBand(t *testing.T) {
+	// A host oscillating between a ~100 and a ~85 mode: each epoch's
+	// intra-phase CoV is tiny (band would be MinBand 5%), but the prior
+	// window's inter-epoch spread is ~8%, so the spread-scaled band must
+	// absorb a latest point that lands in the slow mode instead of gating.
+	h := history(trendHost("a"), 0.01, 100, 85, 98, 87, 84)
+	c := analyzeOne(t, h)
+	if c.Verdict == VerdictRegressed {
+		t.Fatalf("verdict = %s (%s), want mode flip absorbed", c.Verdict, c.Detail)
+	}
+	if c.Spread <= 0 {
+		t.Fatalf("Spread = %.3f, want > 0", c.Spread)
+	}
+	if c.Band <= 0.05 {
+		t.Fatalf("Band = %.3f, want spread-widened above MinBand", c.Band)
+	}
+}
+
+func TestTrendBimodalExtremeSpreadIsNoisy(t *testing.T) {
+	// 2x swings between modes: no band can distinguish a real cliff from
+	// the slow mode, so the cell is unjudgeable and must never gate.
+	h := history(trendHost("a"), 0.01, 100, 55, 98, 52, 54)
+	c := analyzeOne(t, h)
+	if c.Verdict != VerdictNoisy {
+		t.Fatalf("verdict = %s (%s), want noisy", c.Verdict, c.Detail)
+	}
+	rep, _ := AnalyzeTrend(h, DefaultTrendOptions())
+	if !rep.OK() {
+		t.Fatal("dispersed-history cell must not gate")
+	}
+}
+
+func TestTrendCliffDoesNotWidenOwnBand(t *testing.T) {
+	// The spread estimate excludes the judged point: a genuine 30% cliff
+	// after a quiet history must still fire even though including the cliff
+	// in the spread would have widened the band past the drop.
+	h := history(trendHost("a"), 0.01, 100, 101, 99, 100, 70)
+	c := analyzeOne(t, h)
+	if c.Verdict != VerdictRegressed || c.Kind != "step" {
+		t.Fatalf("verdict = %s/%s (%s), want regressed/step", c.Verdict, c.Kind, c.Detail)
+	}
+	if c.Spread > 0.02 {
+		t.Fatalf("Spread = %.3f, want quiet prior window", c.Spread)
+	}
+}
+
 func TestTrendSameHostFiltering(t *testing.T) {
 	// Fast epochs from another machine must not turn this host's flat
 	// trajectory into a regression.

@@ -154,6 +154,46 @@ func (l *Layer[T]) Forward(in *Tensor[T], exec *core.Executor[T]) (*Tensor[T], c
 	return out, st, nil
 }
 
+// ForwardBatch runs the layer over a batch of images as ONE batched GEMM:
+// the im2col patch matrices become the B side of a GemmBatch whose A side is
+// the layer's weight matrix repeated — literally the same *Matrix for every
+// call — so the executor packs the weights once and serves every image from
+// the panel cache. Results are bit-exact with calling Forward per image.
+func (l *Layer[T]) ForwardBatch(ins []*Tensor[T], exec *core.Executor[T]) ([]*Tensor[T], core.Stats, error) {
+	if len(ins) == 0 {
+		return nil, core.Stats{}, fmt.Errorf("convnet: empty image batch")
+	}
+	outs := make([]*Tensor[T], len(ins))
+	cs := make([]*matrix.Matrix[T], len(ins))
+	as := make([]*matrix.Matrix[T], len(ins))
+	bs := make([]*matrix.Matrix[T], len(ins))
+	for i, in := range ins {
+		patches, err := Im2Col(in, l.Spec)
+		if err != nil {
+			return nil, core.Stats{}, err
+		}
+		oh, ow := l.Spec.OutDims(in.H, in.W)
+		outs[i] = NewTensor[T](l.Spec.OutC, oh, ow)
+		cs[i] = outs[i].AsMatrix()
+		as[i] = l.Weights
+		bs[i] = patches
+	}
+	st, err := exec.GemmBatch(cs, as, bs, false, false)
+	if err != nil {
+		return nil, st, err
+	}
+	if l.ReLU {
+		for _, out := range outs {
+			for i, v := range out.Data {
+				if v < 0 {
+					out.Data[i] = 0
+				}
+			}
+		}
+	}
+	return outs, st, nil
+}
+
 // DirectConv is the obviously correct reference convolution (no lowering).
 func DirectConv[T matrix.Scalar](in *Tensor[T], l *Layer[T]) (*Tensor[T], error) {
 	s := l.Spec
@@ -237,26 +277,37 @@ func NewNetwork[T matrix.Scalar](exec *core.Executor[T], layers []*Layer[T], poo
 	return &Network[T]{Layers: layers, Pool: pool, exec: exec}, nil
 }
 
-// Forward runs the whole network, returning the final activation and the
-// total GEMM stats.
+// Forward runs the whole network on one image, returning the final
+// activation and the total GEMM stats. It is the batch-of-one case of
+// ForwardBatch (same code path, so single-image and batched inference can
+// never drift apart numerically).
 func (n *Network[T]) Forward(in *Tensor[T]) (*Tensor[T], core.Stats, error) {
+	outs, total, err := n.ForwardBatch([]*Tensor[T]{in})
+	if err != nil {
+		return nil, total, err
+	}
+	return outs[0], total, nil
+}
+
+// ForwardBatch runs the whole network over a batch of images with one
+// batched GEMM per layer: each layer's weights are packed once for the
+// entire image batch instead of once per image. Returns the final
+// activations (index-aligned with ins) and the total GEMM stats.
+func (n *Network[T]) ForwardBatch(ins []*Tensor[T]) ([]*Tensor[T], core.Stats, error) {
 	var total core.Stats
-	act := in
+	acts := ins
 	for i, l := range n.Layers {
-		out, st, err := l.Forward(act, n.exec)
+		outs, st, err := l.ForwardBatch(acts, n.exec)
 		if err != nil {
 			return nil, total, fmt.Errorf("convnet: layer %s: %w", l.Name, err)
 		}
-		total.Blocks += st.Blocks
-		total.PackedAElems += st.PackedAElems
-		total.PackedBElems += st.PackedBElems
-		total.UnpackCElems += st.UnpackCElems
-		total.PackNanos += st.PackNanos
-		total.ComputeNanos += st.ComputeNanos
+		total.Add(st)
 		if n.Pool[i] {
-			out = MaxPool2x2(out)
+			for j := range outs {
+				outs[j] = MaxPool2x2(outs[j])
+			}
 		}
-		act = out
+		acts = outs
 	}
-	return act, total, nil
+	return acts, total, nil
 }

@@ -237,6 +237,99 @@ func TestNetworkForward(t *testing.T) {
 	}
 }
 
+// TestLayerForwardBatchBitExact: one batched GEMM over the image batch must
+// reproduce the per-image Forward loop bit for bit — the batch path shares
+// packed weight panels across images, and identical packed bytes must give
+// identical results, not merely close ones.
+func TestLayerForwardBatchBitExact(t *testing.T) {
+	exec := testExec(t)
+	rng := rand.New(rand.NewSource(5))
+	for _, relu := range []bool{false, true} {
+		l, err := NewLayer[float64]("b", ConvSpec{InC: 3, OutC: 8, KH: 3, KW: 3, Stride: 1, Pad: 1}, relu, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const batch = 5
+		ins := make([]*Tensor[float64], batch)
+		for i := range ins {
+			ins[i] = NewTensor[float64](3, 12, 14)
+			ins[i].Randomize(rng)
+		}
+		got, st, err := l.ForwardBatch(ins, exec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.BatchCalls != batch {
+			t.Fatalf("BatchCalls = %d, want %d", st.BatchCalls, batch)
+		}
+		// The weight matrix is literally shared across calls, so the batch
+		// loop must have served it from kept panels after the first image.
+		if st.ReusedAElems == 0 {
+			t.Fatalf("shared weights produced no A panel reuse: %+v", st)
+		}
+		for i, in := range ins {
+			want, _, err := l.Forward(in, exec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j, v := range got[i].Data {
+				if v != want.Data[j] {
+					t.Fatalf("relu=%v image %d elem %d: batch %v != per-image %v", relu, i, j, v, want.Data[j])
+				}
+			}
+		}
+	}
+}
+
+// TestNetworkForwardBatchBitExact checks the whole-network batched forward
+// pass against the old per-image pipeline (layer-by-layer Forward plus
+// pooling), element for element.
+func TestNetworkForwardBatchBitExact(t *testing.T) {
+	exec := testExec(t)
+	rng := rand.New(rand.NewSource(6))
+	l1, _ := NewLayer[float64]("c1", ConvSpec{InC: 3, OutC: 8, KH: 3, KW: 3, Stride: 1, Pad: 1}, true, rng)
+	l2, _ := NewLayer[float64]("c2", ConvSpec{InC: 8, OutC: 16, KH: 3, KW: 3, Stride: 1, Pad: 1}, true, rng)
+	net, err := NewNetwork(exec, []*Layer[float64]{l1, l2}, []bool{true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 4
+	ins := make([]*Tensor[float64], batch)
+	for i := range ins {
+		ins[i] = NewTensor[float64](3, 16, 16)
+		ins[i].Randomize(rng)
+	}
+	got, st, err := net.ForwardBatch(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BatchCalls != 2*batch {
+		t.Fatalf("BatchCalls = %d, want %d (2 layers × %d images)", st.BatchCalls, 2*batch, batch)
+	}
+	for i, in := range ins {
+		// The pre-batch per-image pipeline, inlined: layer Forward then pool.
+		act := in
+		for li, l := range net.Layers {
+			out, _, err := l.Forward(act, exec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if net.Pool[li] {
+				out = MaxPool2x2(out)
+			}
+			act = out
+		}
+		if got[i].C != act.C || got[i].H != act.H || got[i].W != act.W {
+			t.Fatalf("image %d dims %dx%dx%d != %dx%dx%d", i, got[i].C, got[i].H, got[i].W, act.C, act.H, act.W)
+		}
+		for j, v := range got[i].Data {
+			if v != act.Data[j] {
+				t.Fatalf("image %d elem %d: batch %v != per-image %v", i, j, v, act.Data[j])
+			}
+		}
+	}
+}
+
 func TestNetworkValidation(t *testing.T) {
 	exec := testExec(t)
 	rng := rand.New(rand.NewSource(4))

@@ -38,6 +38,34 @@ type Stats struct {
 	PackNanos    int64 // packing A and B, zeroing and unpacking C
 	ComputeNanos int64 // macro-kernel execution
 	OverlapNanos int64 // wall time pack jobs ran concurrently with compute
+
+	// Batch aggregation (GemmBatchScaled and friends): BatchCalls is how many
+	// GEMM calls were folded into this Stats (0 for single-call entry points);
+	// SharedBPacks counts the calls after the first that were served against a
+	// B operand shared with their predecessor, i.e. calls whose B pack the
+	// batch-local panel reuse could skip. The elements actually skipped appear
+	// in ReusedBElems.
+	BatchCalls   int
+	SharedBPacks int
+}
+
+// Add folds another execution's counters into s — the batch and multi-layer
+// aggregation primitive. Counts and phase times sum; Grid, Order and
+// Pipelined describe the latest run folded in.
+func (s *Stats) Add(o Stats) {
+	s.Grid, s.Order, s.Pipelined = o.Grid, o.Order, o.Pipelined
+	s.Blocks += o.Blocks
+	s.PackedAElems += o.PackedAElems
+	s.PackedBElems += o.PackedBElems
+	s.ReusedAElems += o.ReusedAElems
+	s.ReusedBElems += o.ReusedBElems
+	s.ResidentBElems += o.ResidentBElems
+	s.UnpackCElems += o.UnpackCElems
+	s.PackNanos += o.PackNanos
+	s.ComputeNanos += o.ComputeNanos
+	s.OverlapNanos += o.OverlapNanos
+	s.BatchCalls += o.BatchCalls
+	s.SharedBPacks += o.SharedBPacks
 }
 
 // PackShare returns the fraction of measured time spent moving data
@@ -143,6 +171,14 @@ type Executor[T matrix.Scalar] struct {
 	inUse          atomic.Bool
 	transA, transB bool
 	alpha          T
+	// keepA/keepB let a batch loop (GemmBatchScaled) carry an operand's
+	// panel keys across calls: when set, invalidateSlots preserves that
+	// operand's keys so panels packed for the previous call are reused. Only
+	// sound when the kept operand (pointer, transpose, and for A the α fold)
+	// is identical to the previous call's — the batch loop enforces that via
+	// pointer equality. Single-call entry points leave both false, restoring
+	// the per-call key scope.
+	keepA, keepB bool
 	// resB, when non-nil, feeds the B side of the in-flight call from
 	// pre-packed resident panels instead of packing (see GemmResident); the
 	// fresh-pack entry points leave it nil.
@@ -410,11 +446,16 @@ func (e *Executor[T]) grow(m, k, n int) {
 	// lengths shrink so pipeline stages (and bugs in offset arithmetic)
 	// can never touch stale tail capacity left over from the larger run.
 	for s := 0; s < e.slots; s++ {
+		// A reallocation discards the slot's packed content, so its panel key
+		// must die with it — a kept key (batch keepA/keepB) pointing at a
+		// fresh buffer would serve garbage as a cache hit.
 		if cap(e.packA[s]) < needA {
 			e.packA[s] = make([]T, needA)
+			e.aKeys[s] = panelKey{}
 		}
 		if cap(e.packB[s]) < needB {
 			e.packB[s] = make([]T, needB)
+			e.bKeys[s] = panelKey{}
 		}
 		e.packA[s] = e.packA[s][:needA]
 		e.packB[s] = e.packB[s][:needB]

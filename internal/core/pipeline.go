@@ -68,19 +68,29 @@ type pipeStage struct {
 	doneNs           atomic.Int64 // last pack unit to finish
 }
 
-// invalidateSlots forgets all packed-panel identities; called at the start
-// of every pipelined run because slot keys are only meaningful against one
-// set of operands.
+// invalidateSlots forgets packed-panel identities; called at the start of
+// every pipelined run because slot keys are only meaningful against one set
+// of operands. A batch loop that carries an operand unchanged into the next
+// call sets keepA/keepB, which preserves that operand's keys: coordinates
+// plus an identical operand (pointer, transpose, α fold) determine packed
+// content, so a kept key's panel is byte-identical to what a fresh pack
+// would produce.
 func (e *Executor[T]) invalidateSlots() {
-	for s := range e.aKeys {
-		e.aKeys[s] = panelKey{}
-		e.aTick[s] = 0
+	if !e.keepA {
+		for s := range e.aKeys {
+			e.aKeys[s] = panelKey{}
+			e.aTick[s] = 0
+		}
 	}
-	for s := range e.bKeys {
-		e.bKeys[s] = panelKey{}
-		e.bTick[s] = 0
+	if !e.keepB {
+		for s := range e.bKeys {
+			e.bKeys[s] = panelKey{}
+			e.bTick[s] = 0
+		}
 	}
-	e.clock = 0
+	if !e.keepA && !e.keepB {
+		e.clock = 0
+	}
 }
 
 // claimSlot returns the slot already holding key (a reuse hit) or the

@@ -115,6 +115,60 @@ func (d *DirectScratch[T]) GemmScaled(c, a, b *matrix.Matrix[T], transA, transB 
 	}, nil
 }
 
+// GemmBatchScaled computes C[i] = α·op(A[i])×op(B[i]) + β·C[i] for every i
+// on the calling goroutine — the tiny tier's batch loop. All dimensions are
+// validated before any call mutates its C. When consecutive calls share a B
+// operand (pointer equality) the panel packed for the predecessor is served
+// straight from d.packB via the resident entry point, skipping the repack;
+// the skipped traffic is re-bucketed into ReusedBElems (batch-local panel
+// reuse, not cross-request residency) and counted in SharedBPacks. Results
+// are bit-exact with the equivalent sequence of GemmScaled calls: the packed
+// panel bytes are identical, and the tile sweep is shared code.
+func (d *DirectScratch[T]) GemmBatchScaled(cs, as, bs []*matrix.Matrix[T], transA, transB bool, alpha, beta T) (core.Stats, error) {
+	if len(cs) == 0 || len(as) != len(cs) || len(bs) != len(cs) {
+		return core.Stats{}, fmt.Errorf("%w: len(C)=%d len(A)=%d len(B)=%d", core.ErrBatchShape, len(cs), len(as), len(bs))
+	}
+	type bDims struct{ k, n int }
+	dims := make([]bDims, len(cs))
+	for i := range cs {
+		m, k := as[i].Rows, as[i].Cols
+		if transA {
+			m, k = k, m
+		}
+		kb, n := bs[i].Rows, bs[i].Cols
+		if transB {
+			kb, n = n, kb
+		}
+		if k != kb || cs[i].Rows != m || cs[i].Cols != n {
+			return core.Stats{}, fmt.Errorf("engine: invalid GEMM dims in batch call %d: C[%dx%d] = op(A)[%dx%d] x op(B)[%dx%d]",
+				i, cs[i].Rows, cs[i].Cols, m, k, kb, n)
+		}
+		dims[i] = bDims{k, n}
+	}
+	var agg core.Stats
+	packedB := false // d.packB holds call i−1's packed B panel
+	for i := range cs {
+		var st core.Stats
+		var err error
+		if i > 0 && bs[i] == bs[i-1] && packedB {
+			need := packing.PackedBSize(dims[i].k, dims[i].n, d.kern.NR)
+			st, err = d.GemmResident(cs[i], as[i], d.packB[:need], dims[i].k, dims[i].n, transA, alpha, beta)
+			st.ReusedBElems += st.ResidentBElems
+			st.ResidentBElems = 0
+			agg.SharedBPacks++
+		} else {
+			st, err = d.GemmScaled(cs[i], as[i], bs[i], transA, transB, alpha, beta)
+			packedB = err == nil && alpha != 0 // α = 0 returns before packing
+		}
+		if err != nil {
+			return agg, fmt.Errorf("engine: batch call %d: %w", i, err)
+		}
+		agg.Add(st)
+	}
+	agg.BatchCalls = len(cs)
+	return agg, nil
+}
+
 // GemmResident computes C = α·op(A)×B + β·C where bp holds the whole k×n B
 // operand already packed in d.Kernel().NR-column panels — the tiny tier's
 // resident layout (see engine.RegisterB). The B pack is skipped entirely;

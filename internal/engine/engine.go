@@ -507,6 +507,10 @@ func (e *Engine) finishRecord(rec *reqtrace.Record, start time.Time, st core.Sta
 	rec.DurNs = time.Since(start).Nanoseconds()
 	rec.PackNs = st.PackNanos
 	rec.ComputeNs = st.ComputeNanos
+	if st.BatchCalls > 0 {
+		rec.BatchCalls = int32(st.BatchCalls)
+		rec.AmortNs = rec.DurNs / int64(st.BatchCalls)
+	}
 	rec.Outcome = outcomeOf(err)
 	if err != nil {
 		rec.Err = err.Error()
@@ -555,7 +559,7 @@ func runDirect[T matrix.Scalar](e *Engine, rec *reqtrace.Record, fn func(d *Dire
 	elem := int64(unsafe.Sizeof(*new(T)))
 	obs.AccountGemm("cake", st.Blocks,
 		(st.PackedAElems+st.PackedBElems)*elem,
-		st.ResidentBElems*elem,
+		(st.ReusedAElems+st.ReusedBElems+st.ResidentBElems)*elem,
 		st.PackNanos, st.ComputeNanos, 0)
 	return st, nil
 }

@@ -42,6 +42,7 @@ type CorpusCell struct {
 	N        int    `json:"n"`
 	Tier     string `json:"tier"`              // engine dispatch tier for the shape
 	Workers  int    `json:"workers,omitempty"` // serve scenario: concurrent streams
+	Batch    int    `json:"batch,omitempty"`   // batch scenario: GEMMs per GemmBatch
 	Reps     int    `json:"reps"`              // GEMMs per run
 	Runs     int    `json:"runs"`              // runs in the worst-of-N protocol
 
@@ -118,10 +119,24 @@ func corpusShapes(quick bool) []corpusShape {
 	return shapes
 }
 
-// corpusScenarios is the scenario axis: fresh packs operands every call,
-// resident serves B from pre-packed panels, serve drives the same GEMM from
-// concurrent closed-loop streams through the engine's admission path.
+// corpusScenarios is the scenario axis crossed with every shape: fresh packs
+// operands every call, resident serves B from pre-packed panels, serve
+// drives the same GEMM from concurrent closed-loop streams through the
+// engine's admission path. The batch scenario (one GemmBatch per timed unit,
+// shared B packed once) is not crossed with the full shape axis — it runs
+// only on the shapes batching targets (see corpusBatchCells).
 var corpusScenarios = []string{"fresh", "resident", "serve"}
+
+// corpusBatchCells is the batch scenario's own (shape index, batch size)
+// axis: the tiny direct tier at batch 32 (the benchgate-floored class) and
+// the small cache-resident tier at batch 8.
+var corpusBatchCells = []struct {
+	shapeIdx int
+	batch    int
+}{
+	{0, 32}, // tiny
+	{1, 8},  // small
+}
 
 // corpusDtypes is the dtype axis.
 var corpusDtypes = []string{"f32", "f64"}
@@ -131,11 +146,13 @@ type corpusCellSpec struct {
 	shape    corpusShape
 	scenario string
 	dtype    string
+	batch    int // batch scenario only: GEMMs per GemmBatch
 }
 
-// corpusGrid expands the named grid. "micro" is the 2-cell CI smoke grid
-// (tiny/fresh/f32 and small/resident/f32); "full" is the complete cross
-// product.
+// corpusGrid expands the named grid. "micro" is the 4-cell CI smoke grid
+// (tiny/fresh/f32, small/resident/f32, tiny/batch/f32, small/batch/f32);
+// "full" is the complete scenario×shape×dtype cross product plus the batch
+// cells from corpusBatchCells.
 func corpusGrid(name string, quick bool) ([]corpusCellSpec, error) {
 	shapes := corpusShapes(quick)
 	switch name {
@@ -144,15 +161,22 @@ func corpusGrid(name string, quick bool) ([]corpusCellSpec, error) {
 		for _, sc := range corpusScenarios {
 			for _, sh := range shapes {
 				for _, dt := range corpusDtypes {
-					out = append(out, corpusCellSpec{sh, sc, dt})
+					out = append(out, corpusCellSpec{shape: sh, scenario: sc, dtype: dt})
 				}
+			}
+		}
+		for _, bc := range corpusBatchCells {
+			for _, dt := range corpusDtypes {
+				out = append(out, corpusCellSpec{shape: shapes[bc.shapeIdx], scenario: "batch", dtype: dt, batch: bc.batch})
 			}
 		}
 		return out, nil
 	case "micro":
 		return []corpusCellSpec{
-			{shapes[0], "fresh", "f32"},
-			{shapes[1], "resident", "f32"},
+			{shape: shapes[0], scenario: "fresh", dtype: "f32"},
+			{shape: shapes[1], scenario: "resident", dtype: "f32"},
+			{shape: shapes[0], scenario: "batch", dtype: "f32", batch: corpusBatchCells[0].batch},
+			{shape: shapes[1], scenario: "batch", dtype: "f32", batch: corpusBatchCells[1].batch},
 		}, nil
 	default:
 		return nil, fmt.Errorf("experiments: unknown corpus grid %q (full|micro)", name)
@@ -271,6 +295,35 @@ func corpusCell[T matrix.Scalar](e *engine.Engine, spec corpusCellSpec, runs, co
 		do = func() error {
 			for i := 0; i < sh.reps; i++ {
 				if _, err := engine.GemmResident(e, c, a, id); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	case "batch":
+		// One GemmBatch per group: distinct activations against one shared
+		// weight matrix (the same *Matrix repeated, so the batch path packs
+		// it once and serves every call from the packed panels).
+		batch := spec.batch
+		cell.Batch = batch
+		groups := sh.reps / batch
+		if groups < 1 {
+			groups = 1
+		}
+		gemms = groups * batch
+		cell.Reps = gemms
+		as := make([]*matrix.Matrix[T], batch)
+		bs := make([]*matrix.Matrix[T], batch)
+		cs := make([]*matrix.Matrix[T], batch)
+		for i := range as {
+			as[i] = matrix.New[T](sh.m, sh.k)
+			as[i].Randomize(rng)
+			bs[i] = b
+			cs[i] = matrix.New[T](sh.m, sh.n)
+		}
+		do = func() error {
+			for g := 0; g < groups; g++ {
+				if _, err := engine.GemmBatch(e, cs, as, bs); err != nil {
 					return err
 				}
 			}

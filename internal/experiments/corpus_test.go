@@ -8,7 +8,7 @@ import (
 	"testing"
 )
 
-// runMicroCorpus measures the 2-cell CI grid once; shared by the round-trip
+// runMicroCorpus measures the 4-cell CI grid once; shared by the round-trip
 // and store tests so the (slowish) measurement happens per-test but stays in
 // quick/runs=1 territory.
 func runMicroCorpus(t *testing.T) *CorpusEpoch {
@@ -22,10 +22,11 @@ func runMicroCorpus(t *testing.T) *CorpusEpoch {
 
 func TestRunCorpusMicroGrid(t *testing.T) {
 	epoch := runMicroCorpus(t)
-	if len(epoch.Cells) != 2 {
-		t.Fatalf("micro grid cells = %d, want 2", len(epoch.Cells))
+	if len(epoch.Cells) != 4 {
+		t.Fatalf("micro grid cells = %d, want 4", len(epoch.Cells))
 	}
-	wantKeys := map[string]bool{"tiny/fresh/f32": false, "small/resident/f32": false}
+	wantKeys := map[string]bool{"tiny/fresh/f32": false, "small/resident/f32": false,
+		"tiny/batch/f32": false, "small/batch/f32": false}
 	for _, c := range epoch.Cells {
 		if _, ok := wantKeys[c.Key()]; !ok {
 			t.Fatalf("unexpected cell %s", c.Key())
