@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -11,7 +14,7 @@ func TestListIncludesSuite(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errb.String())
 	}
-	for _, name := range []string{"atomicfield", "hotpathalloc", "leasebalance", "spanbytes"} {
+	for _, name := range []string{"atomicfield", "hotpathalloc", "leasebalance", "spanbytes", "hotcover", "escapecheck"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}
@@ -19,9 +22,11 @@ func TestListIncludesSuite(t *testing.T) {
 }
 
 func TestUnknownAnalyzerIsUsageError(t *testing.T) {
-	var out, errb bytes.Buffer
-	if code := run([]string{"-checks", "nope"}, &out, &errb); code != 2 {
-		t.Fatalf("exit %d, want 2 (stderr: %s)", code, errb.String())
+	for _, flag := range []string{"-checks", "-run"} {
+		var out, errb bytes.Buffer
+		if code := run([]string{flag, "nope"}, &out, &errb); code != 2 {
+			t.Fatalf("%s nope: exit %d, want 2 (stderr: %s)", flag, code, errb.String())
+		}
 	}
 }
 
@@ -36,5 +41,80 @@ func TestSeededFixtureFails(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "does not set Bytes") {
 		t.Errorf("diagnostics missing from stdout:\n%s", out.String())
+	}
+}
+
+// TestJSONSummaryFailing: -json still obeys the exit contract and leads with
+// a grep-able "ok" key, the shape scripts/verify.sh and CI consume.
+func TestJSONSummaryFailing(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-run", "spanbytes", "-json", "../../internal/analysis/testdata/src/spanbytes"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	var sum jsonSummary
+	if err := json.Unmarshal(out.Bytes(), &sum); err != nil {
+		t.Fatalf("stdout is not a summary: %v\n%s", err, out.String())
+	}
+	if sum.OK || sum.Violations == 0 || len(sum.Findings) == 0 {
+		t.Errorf("summary should report violations: %+v", sum)
+	}
+	if !strings.Contains(out.String(), `"ok": false`) {
+		t.Errorf(`summary not grep-able for "ok": false`+":\n%s", out.String())
+	}
+	for _, f := range sum.Findings {
+		if f.Analyzer == "" || f.File == "" || f.Line == 0 || f.Message == "" || f.Severity == "" {
+			t.Errorf("finding missing fields: %+v", f)
+		}
+	}
+}
+
+// TestJSONSummaryEmptyCorpus: a hotcover-only run against an empty corpus
+// store is clean (fresh clones must never fail), reports the skip as a
+// notice, and greps as "ok": true.
+func TestJSONSummaryEmptyCorpus(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-run", "hotcover", "-json", "-corpus", filepath.Join(t.TempDir(), "none"),
+		"../../internal/analysis/testdata/src/hotcover"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), `"ok": true`) {
+		t.Errorf(`summary not grep-able for "ok": true`+":\n%s", out.String())
+	}
+	var sum jsonSummary
+	if err := json.Unmarshal(out.Bytes(), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Notices) == 0 || !strings.Contains(strings.Join(sum.Notices, "\n"), "no CPU profiles") {
+		t.Errorf("empty-store notice missing from summary: %+v", sum.Notices)
+	}
+}
+
+// TestEscapeLogCache: the first escapecheck run writes the raw compiler
+// output to -escape-log; the second parses the cached bytes instead of
+// rebuilding, and says so.
+func TestEscapeLogCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the compiler; skipped in -short")
+	}
+	logPath := filepath.Join(t.TempDir(), "escape.log")
+	target := "../../internal/analysis/testdata/src/hotcover" // compiles clean, no hot anns needed
+
+	var out1, err1 bytes.Buffer
+	if code := run([]string{"-run", "escapecheck", "-escape-log", logPath, target}, &out1, &err1); code != 0 {
+		t.Fatalf("capture run: exit %d\nstderr: %s", code, err1.String())
+	}
+	info, err := os.Stat(logPath)
+	if err != nil || info.Size() == 0 {
+		t.Fatalf("escape log not written: %v", err)
+	}
+
+	var out2, err2 bytes.Buffer
+	if code := run([]string{"-run", "escapecheck", "-escape-log", logPath, target}, &out2, &err2); code != 0 {
+		t.Fatalf("cached run: exit %d\nstderr: %s", code, err2.String())
+	}
+	if !strings.Contains(err2.String(), "reusing cached diagnostics") {
+		t.Errorf("cached run did not report reuse:\n%s", err2.String())
 	}
 }

@@ -34,6 +34,21 @@
 //   - reqoutcome: every reqtrace.Record composite literal must set Outcome
 //     explicitly — a request record whose outcome was never decided must be
 //     visible as unset, not silently zero.
+//
+// Two further passes are profile-guided rather than purely structural and
+// are constructed with external inputs (see DESIGN §15):
+//
+//   - hotcover (NewHotCover): joins the committed corpus pprof profiles to
+//     the annotation set — any function whose leaf flat share of a
+//     scenario's CPU time reaches the threshold must carry //cake:hotpath
+//     (so hotpathalloc inspects it) or an explicit //cake:hotpath-exempt
+//     with a reason; annotated functions never sampled in any committed
+//     profile are advisory staleness findings.
+//   - escapecheck (NewEscapeCheck): attributes the compiler's own
+//     escape-analysis diagnostics (go build -gcflags=-m) to enclosing
+//     functions and fails when a //cake:hotpath function heap-allocates —
+//     the compiler-introduced boxing, closure captures and append growth
+//     that AST-level hotpathalloc structurally cannot see.
 package analysis
 
 import (
@@ -45,16 +60,21 @@ import (
 	"strings"
 )
 
-// Analyzer is one named invariant check.
+// Analyzer is one named invariant check. Syntax analyzers run off parsed
+// ASTs alone (Pass.Pkg and Pass.Info may be nil when packages were loaded
+// with LoadSyntax); all others require the fully type-checked Load.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass) error
+	Name   string
+	Doc    string
+	Syntax bool
+	Run    func(*Pass) error
 }
 
-// Pass carries one type-checked package through one analyzer.
+// Pass carries one loaded package through one analyzer. Path is the
+// package's import path; Pkg and Info are nil under LoadSyntax.
 type Pass struct {
 	Analyzer *Analyzer
+	Path     string
 	Fset     *token.FileSet
 	Files    []*ast.File
 	Pkg      *types.Package
@@ -63,14 +83,26 @@ type Pass struct {
 	report func(Diagnostic)
 }
 
-// Diagnostic is one reported violation.
+// Diagnostic severities. Errors fail the go-vet exit contract; advisories
+// inform (stale annotations, inlining misses) and never flip the exit code.
+const (
+	SeverityError    = "error"
+	SeverityAdvisory = "advisory"
+)
+
+// Diagnostic is one reported finding. Severity is SeverityError for
+// violations and SeverityAdvisory for informational findings.
 type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	Severity string
 }
 
 func (d Diagnostic) String() string {
+	if d.Severity == SeverityAdvisory {
+		return fmt.Sprintf("%s: [%s] advisory: %s", d.Pos, d.Analyzer, d.Message)
+	}
 	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
 }
 
@@ -80,6 +112,18 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Analyzer: p.Analyzer.Name,
 		Pos:      p.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
+		Severity: SeverityError,
+	})
+}
+
+// Advisoryf records an informational finding at pos. Advisories surface in
+// -json output and TestSuiteCleanOnRepo logs but never fail a run.
+func (p *Pass) Advisoryf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Severity: SeverityAdvisory,
 	})
 }
 
@@ -110,8 +154,12 @@ func Check(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if !a.Syntax && pkg.Info == nil {
+				return diags, fmt.Errorf("%s: %s: analyzer needs type information but package was loaded with LoadSyntax", a.Name, pkg.Path)
+			}
 			pass := &Pass{
 				Analyzer: a,
+				Path:     pkg.Path,
 				Fset:     pkg.Fset,
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestEscapeCheckFixture drives the full pipeline live: the real compiler's
+// escape analysis over the seeded fixture, attributed back to //cake:hotpath
+// functions, against the fixture's `// want` annotations.
+func TestEscapeCheckFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the compiler; skipped in -short")
+	}
+	dir, err := filepath.Abs(FixtureDir("escapecheck"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, raw, err := CaptureEscapeDiagnostics(dir, ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Diags == 0 {
+		t.Fatalf("no diagnostics captured from %s; raw output:\n%s", dir, raw)
+	}
+	problems, err := FixtureDiff(NewEscapeCheck(log), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+
+	// Re-parsing the raw bytes (the CI caching path) must reproduce the
+	// capture exactly.
+	reparsed, err := ParseEscapeDiagnostics(raw, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reparsed.Diags != log.Diags {
+		t.Errorf("re-parse of cached bytes: %d diags, capture had %d", reparsed.Diags, log.Diags)
+	}
+}
+
+// syntheticEscapeLog is a hand-written -gcflags='-m -m' transcript exercising
+// every parser branch without invoking the compiler.
+const syntheticEscapeLog = `# repro/internal/fake
+./fake.go:10:6: can inline tiny with cost 4 as: func(int) int { return n + 1 }
+./fake.go:14:2: moved to heap: v
+./fake.go:14:2: v escapes to heap:
+./fake.go:14:2:   flow: ~r0 = &v:
+./fake.go:14:2:     from &v (address-of) at ./fake.go:15:9
+./fake.go:20:13: make([]int, n) escapes to heap
+./fake.go:20:13: make([]int, n) escapes to heap:
+./fake.go:25:6: cannot inline big: function too complex: cost 123 exceeds budget 80
+./fake.go:30:7: leaking param: p
+./fake.go:33:20: inlining call to tiny
+/abs/other.go:7:9: q escapes to heap
+not a diagnostic line
+./fake.go:bad:1: moved to heap: x
+`
+
+func TestParseEscapeDiagnostics(t *testing.T) {
+	root := filepath.FromSlash("/work/mod")
+	log, err := ParseEscapeDiagnostics([]byte(syntheticEscapeLog), root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fake := filepath.Join(root, "fake.go")
+
+	// moved(14) + make-escape(20) + cannot-inline(25) + abs-path escape(7).
+	// The flow-detail header at 14:2 must NOT add a second diag for v, and
+	// "can inline" / "leaking param" / "inlining call to" / malformed lines
+	// are all skipped.
+	if log.Diags != 4 {
+		t.Fatalf("parsed %d diags, want 4: %+v", log.Diags, log.ByFile)
+	}
+	byPos := map[string]EscapeDiag{}
+	for _, ds := range log.ByFile {
+		for _, d := range ds {
+			byPos[d.File+":"+strconv.Itoa(d.Line)] = d
+		}
+	}
+	cases := []struct {
+		key  string
+		kind EscapeKind
+		msg  string
+	}{
+		{fake + ":14", EscapeMoved, "moved to heap: v"},
+		{fake + ":20", EscapeHeap, "make([]int, n) escapes to heap"},
+		{fake + ":25", EscapeNoInline, "cannot inline big: function too complex: cost 123 exceeds budget 80"},
+		{filepath.Clean("/abs/other.go") + ":7", EscapeHeap, "q escapes to heap"},
+	}
+	for _, c := range cases {
+		d, ok := byPos[c.key]
+		if !ok {
+			t.Errorf("no diagnostic at %s", c.key)
+			continue
+		}
+		if d.Kind != c.kind {
+			t.Errorf("%s: kind %d, want %d", c.key, d.Kind, c.kind)
+		}
+		if d.Message != c.msg {
+			t.Errorf("%s: message %q, want %q", c.key, d.Message, c.msg)
+		}
+	}
+}
+
+// TestParseEscapeDiagnosticsDedup: generic instantiations and importing
+// packages replay the same decision many times; each (pos, kind) is kept once.
+func TestParseEscapeDiagnosticsDedup(t *testing.T) {
+	log, err := ParseEscapeDiagnostics([]byte(strings.Repeat("./g.go:5:2: moved to heap: x\n", 6)), "/m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Diags != 1 {
+		t.Fatalf("replayed line parsed %d times, want 1", log.Diags)
+	}
+}
+
+// TestEscapeCheckNilLog: with no log (fresh environment, capture disabled)
+// the analyzer is a silent no-op on any package.
+func TestEscapeCheckNilLog(t *testing.T) {
+	pkgs, err := LoadSyntax(FixtureDir("escapecheck"), ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, log := range []*EscapeLog{nil, {ByFile: map[string][]EscapeDiag{}}} {
+		diags, err := Check(pkgs, []*Analyzer{NewEscapeCheck(log)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(diags) != 0 {
+			t.Fatalf("empty log must report nothing, got %v", diags)
+		}
+	}
+}

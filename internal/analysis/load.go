@@ -48,47 +48,9 @@ type listPackage struct {
 // Test files are deliberately excluded: the invariants guard production
 // hot paths, and fixtures under testdata construct violations on purpose.
 func Load(dir string, patterns ...string) ([]*Package, error) {
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
-	args := append([]string{
-		"list", "-e", "-export", "-deps",
-		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Error",
-		"--",
-	}, patterns...)
-	cmd := exec.Command("go", args...)
-	cmd.Dir = dir
-	var stderr bytes.Buffer
-	cmd.Stderr = &stderr
-	out, err := cmd.Output()
+	targets, exports, err := listPackages(dir, true, patterns)
 	if err != nil {
-		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
-	}
-
-	exports := map[string]string{}
-	var targets []listPackage
-	dec := json.NewDecoder(bytes.NewReader(out))
-	for {
-		var p listPackage
-		if err := dec.Decode(&p); err != nil {
-			if errors.Is(err, io.EOF) {
-				break
-			}
-			return nil, fmt.Errorf("go list output: %w", err)
-		}
-		if p.Export != "" {
-			exports[p.ImportPath] = p.Export
-		}
-		if p.DepOnly || p.Standard {
-			continue
-		}
-		if p.Error != nil {
-			return nil, fmt.Errorf("load %s: %s", p.ImportPath, p.Error.Err)
-		}
-		targets = append(targets, p)
-	}
-	if len(targets) == 0 {
-		return nil, fmt.Errorf("no packages match %s", strings.Join(patterns, " "))
+		return nil, err
 	}
 
 	lookup := func(path string) (io.ReadCloser, error) {
@@ -138,4 +100,88 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		})
 	}
 	return pkgs, nil
+}
+
+// LoadSyntax resolves patterns like Load but stops at parsed ASTs: no
+// -export, no -deps, no type checking. Packages come back with Types and
+// Info nil, which is all an Analyzer with Syntax set needs — the
+// profile-guided passes match functions by name and position, so a
+// cake-vet run restricted to them skips the typecheck entirely.
+func LoadSyntax(dir string, patterns ...string) ([]*Package, error) {
+	targets, _, err := listPackages(dir, false, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		pkgs = append(pkgs, &Package{
+			Path:  t.ImportPath,
+			Dir:   t.Dir,
+			Fset:  fset,
+			Files: files,
+		})
+	}
+	return pkgs, nil
+}
+
+// listPackages shells out to `go list` and returns the target packages
+// matched by patterns plus (when export is set) the compiled export data of
+// every dependency, keyed by import path.
+func listPackages(dir string, export bool, patterns []string) ([]listPackage, map[string]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := []string{"list", "-e"}
+	if export {
+		args = append(args, "-export", "-deps")
+	}
+	args = append(args, "-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Error", "--")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, nil, fmt.Errorf("go list output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("load %s: %s", p.ImportPath, p.Error.Err)
+		}
+		targets = append(targets, p)
+	}
+	if len(targets) == 0 {
+		return nil, nil, fmt.Errorf("no packages match %s", strings.Join(patterns, " "))
+	}
+	return targets, exports, nil
 }

@@ -8,9 +8,14 @@ import (
 )
 
 // TestSuiteCleanOnRepo is the regression gate behind scripts/verify.sh and
-// the CI cake-vet job: the real tree must carry zero invariant violations.
-// Anything this test reports is either a genuine regression or a new
-// exemption that belongs in DESIGN.md §9 alongside an analyzer change.
+// the CI cake-vet job: the real tree must carry zero invariant violations —
+// including the profile-guided passes, so every function hot in the
+// committed corpus is annotated and no //cake:hotpath function heap-
+// allocates per the compiler's own escape analysis. Anything this test
+// errors on is either a genuine regression or a new exemption that belongs
+// in DESIGN.md alongside an analyzer change. Advisories (stale annotations,
+// cannot-inline notes) are logged, never failed: they describe follow-up
+// work, not broken invariants.
 func TestSuiteCleanOnRepo(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and typechecks the whole module; covered by verify.sh's cake-vet step")
@@ -23,15 +28,34 @@ func TestSuiteCleanOnRepo(t *testing.T) {
 	if gomod == "" || gomod == "/dev/null" {
 		t.Skip("not running inside the module")
 	}
-	pkgs, err := Load(filepath.Dir(gomod), "./...")
+	root := filepath.Dir(gomod)
+	pkgs, err := Load(root, "./...")
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags, err := Check(pkgs, Suite())
+
+	stats, err := LoadHotStats(filepath.Join(root, "results", "corpus"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range stats.Notices {
+		t.Log(n)
+	}
+	elog, _, err := CaptureEscapeDiagnostics(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers := append(Suite(), NewHotCover(stats), NewEscapeCheck(elog))
+
+	diags, err := Check(pkgs, analyzers)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, d := range diags {
+		if d.Severity == SeverityAdvisory {
+			t.Logf("%s", d)
+			continue
+		}
 		t.Errorf("%s", d)
 	}
 }

@@ -1,0 +1,83 @@
+// Package escapecheck seeds violations for the escapecheck analyzer: the
+// compiler's escape analysis (go build -gcflags='-m -m') must not report a
+// heap allocation inside a //cake:hotpath function. The companion test
+// captures the real compiler diagnostics for this package and also parses a
+// synthetic pre-captured log, so both ingestion paths are pinned.
+package escapecheck
+
+import "fmt"
+
+var boxSink any
+
+// movedToHeap returns the address of a local: the compiler moves v to the
+// heap, the very allocation hotpathalloc's AST view cannot see (no make, no
+// composite literal — just an & that outlives the frame).
+//
+//cake:hotpath
+func movedToHeap() *int {
+	v := 42 // want `moved to heap`
+	return &v
+}
+
+// escapingMake grows into the caller: the make escapes.
+//
+//cake:hotpath
+func escapingMake(n int) []int {
+	buf := make([]int, n) // want `escapes to heap`
+	for i := range buf {
+		buf[i] = i
+	}
+	return buf
+}
+
+// closureCapture heap-allocates twice: the captured counter moves to the
+// heap and the returned closure itself escapes.
+//
+//cake:hotpath
+func closureCapture() func() int {
+	n := 0              // want `moved to heap`
+	return func() int { // want `escapes to heap`
+		n++
+		return n
+	}
+}
+
+// boxToAny stores a concrete value into an interface sink: the boxing
+// allocation is an escape at the assignment.
+//
+//cake:hotpath
+func boxToAny(v float64) {
+	boxSink = v // want `escapes to heap`
+}
+
+// guarded's only escapes sit inside the terminal panic argument — the
+// idiomatic guard clause — and must stay exempt, exactly as hotpathalloc
+// exempts them.
+//
+//cake:hotpath
+func guarded(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("escapecheck: negative %d", n))
+	}
+	return n * 2
+}
+
+// hotRecursive cannot inline (recursion defeats the inliner); that is an
+// advisory — callers pay a call frame — never an error.
+//
+//cake:hotpath
+func hotRecursive(n int) int { // want `hot path hotRecursive does not inline`
+	if n <= 1 {
+		return 1
+	}
+	return n * hotRecursive(n-1)
+}
+
+// coldEscape allocates identically to movedToHeap but carries no directive;
+// escapecheck must stay silent.
+func coldEscape() *int {
+	v := 7
+	return &v
+}
+
+var use = [...]any{movedToHeap, escapingMake, closureCapture, boxToAny, guarded, hotRecursive, coldEscape}

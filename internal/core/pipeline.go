@@ -125,6 +125,13 @@ func claimSlot(keys []panelKey, ticks []int64, clock *int64, key panelKey, busy 
 // work is split into the same per-strip / per-panel-chunk units the
 // synchronous path uses, claimed dynamically so fast workers absorb ragged
 // unit costs.
+//
+// The profiles attribute the pack closure's time here, but the stage header
+// and job closure allocate once per CB block and amortize over the block's
+// mc·kc·nc compute, so the hotpathalloc allocation ban does not apply — the
+// per-element work lives in packAUnit/packBUnit and the packing package.
+//
+//cake:hotpath-exempt per-block stage+closure alloc, amortized over block compute
 func (e *Executor[T]) submitPack(a, b *matrix.Matrix[T], blk blockSpan, busyA, busyB int) *pipeStage {
 	s := &pipeStage{blk: blk}
 	var reusedA, reusedB bool

@@ -18,11 +18,29 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
-# cake-vet: the repo's own invariant analyzers (internal/analysis). Clean
-# output is a hard gate — see DESIGN.md §9 for the invariants and how to
-# silence a finding legitimately.
-echo "== cake-vet ./..."
-go run ./cmd/cake-vet ./...
+# cake-vet: the repo's own invariant analyzers (internal/analysis), including
+# the profile-guided passes — hotcover replays the committed corpus profiles
+# and demands //cake:hotpath coverage on hot functions, escapecheck
+# cross-checks annotated functions against the compiler's escape analysis.
+# The escape diagnostics are captured once into a temp file so the second
+# invocation below exercises the cached-reuse path CI depends on. The -json
+# summary is the gate: "ok" must be true (advisories never flip it) — see
+# DESIGN.md §9 and §15 for the invariants and how to silence a finding.
+echo "== cake-vet -json ./..."
+VET_TMP=$(mktemp -d)
+go run ./cmd/cake-vet -json -escape-log "$VET_TMP/escape.log" ./... >"$VET_TMP/summary.json"
+if ! grep -q '"ok": true' "$VET_TMP/summary.json"; then
+	echo "verify: cake-vet -json did not report ok:" >&2
+	cat "$VET_TMP/summary.json" >&2
+	rm -rf "$VET_TMP"
+	exit 1
+fi
+
+# Profile-guided passes alone, against the cached escape log: the syntax-only
+# fast path must stay clean and must not recapture.
+echo "== cake-vet -run=hotcover,escapecheck (cached escape log)"
+go run ./cmd/cake-vet -run=hotcover,escapecheck -escape-log "$VET_TMP/escape.log" ./...
+rm -rf "$VET_TMP"
 
 echo "== go test ./..."
 go test ./...
